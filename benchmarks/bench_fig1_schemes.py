@@ -1,0 +1,27 @@
+"""Fig. 1 — the three lane mappings (1a)/(1b)/(1c).
+
+Runs each scheme on the same workload, prints the lane geometry, and
+asserts that all three reproduce the production forces exactly — the
+figure's premise that the mappings are interchangeable in semantics and
+differ only in execution shape.
+"""
+
+import pytest
+
+from conftest import regenerate
+from repro.harness.experiments import fig1_scheme_mappings
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_scheme_mappings(benchmark):
+    res = regenerate(benchmark, fig1_scheme_mappings)
+    assert res.measured["all_schemes_exact"] is True
+    by_scheme = {r["scheme"]: r for r in res.rows}
+    # scheme 1a leaves pad lanes idle on short lists; 1b packs densely
+    assert by_scheme["1b"]["utilization"] >= by_scheme["1a"]["utilization"]
+    # wider mappings fire fewer, fuller kernels
+    assert (
+        by_scheme["1c"]["kernel_invocations"]
+        < by_scheme["1b"]["kernel_invocations"]
+        < by_scheme["1a"]["kernel_invocations"]
+    )

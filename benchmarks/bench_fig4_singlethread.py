@@ -1,0 +1,32 @@
+"""Fig. 4 — performance portability across CPUs, single-threaded.
+
+32 000 Si atoms; Ref / Opt-D / Opt-S / Opt-M on ARM, WM, SB, HW.  The
+paper's quoted speedups are asserted as reproduction bands (rel 25%).
+"""
+
+import pytest
+
+from conftest import regenerate
+from repro.harness.experiments import fig4_singlethread
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_single_threaded(benchmark, warm_profiles):
+    res = regenerate(benchmark, fig4_singlethread)
+    m = res.measured
+    assert m["ARM:Opt-D/Ref"] == pytest.approx(2.4, rel=0.25)
+    assert m["ARM:Opt-S/Ref"] == pytest.approx(6.4, rel=0.25)
+    assert m["WM:Opt-D/Ref"] == pytest.approx(1.9, rel=0.25)
+    assert m["WM:Opt-S/Ref"] == pytest.approx(3.5, rel=0.25)
+    assert 3.0 <= m["SB:Opt-D/Ref"] <= 4.0
+    assert m["HW:Opt-S/Ref"] == pytest.approx(4.8, rel=0.25)
+
+    series = {s.label: s for s in res.series}
+    # mode ordering on every machine: Ref < Opt-D < Opt-S
+    for name in ("ARM", "WM", "SB", "HW"):
+        ref = series["Ref-1T"].y[series["Ref-1T"].x.index(name)]
+        opt_d = series["Opt-D-1T"].y[series["Opt-D-1T"].x.index(name)]
+        opt_s = series["Opt-S-1T"].y[series["Opt-S-1T"].x.index(name)]
+        assert ref < opt_d < opt_s, name
+    # footnote 3: no ARM mixed mode
+    assert "ARM" not in series["Opt-M-1T"].x

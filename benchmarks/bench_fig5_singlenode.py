@@ -1,0 +1,32 @@
+"""Fig. 5 — one-node execution, Ref vs Opt-M (512k atoms).
+
+Paper speedups: WM 3.18, SB 5.00, HW 3.15, HW2 2.69, BW 2.95, with the
+MPI communication layer at 5-30% of runtime.  Reproduction status (see
+EXPERIMENTS.md): the 2.5x-6.5x improvement band, SB as the best-scaling
+node, and the growing comm fraction with core count are reproduced; the
+AVX2 machines come out ~1.5x above the paper's exact ratios because the
+model underestimates their node-level overheads.
+"""
+
+import pytest
+
+from conftest import regenerate
+from repro.harness.experiments import fig5_singlenode
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_single_node(benchmark, warm_profiles):
+    res = regenerate(benchmark, fig5_singlenode)
+    m = res.measured
+    machines = ("WM", "SB", "HW", "HW2", "BW")
+    # every node improves by 2.5x-6.5x (paper band 2.69-5.00)
+    for k in machines:
+        assert 2.5 <= m[k] <= 6.5, k
+    # who wins: SB shows the largest node speedup, as in the paper
+    assert m["SB"] == max(m[k] for k in machines)
+    # communication is a visible but not dominant fraction
+    lo, hi = m["comm_fraction_range"]
+    assert 0.0 < lo < hi < 0.35
+    # absolute throughput ordering across generations (Ref): WM < HW < BW
+    rows = {r["machine"]: r for r in res.rows}
+    assert rows["WM"]["Ref ns/day"] < rows["HW"]["Ref ns/day"] < rows["BW"]["Ref ns/day"]

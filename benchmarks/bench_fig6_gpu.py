@@ -1,0 +1,26 @@
+"""Fig. 6 — offload to GPU (256k atoms, K20x / K40).
+
+Five variants: the LAMMPS GPU package in three precisions (Ref-GPU-*),
+the KOKKOS reference port (Ref-KK-D), and this work (Opt-KK-D).  Paper
+headlines: Opt-KK-D ~3x Ref-KK-D end-to-end, ~5x on the isolated
+kernel.
+"""
+
+import pytest
+
+from conftest import regenerate
+from repro.harness.experiments import fig6_gpu
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_gpu_offload(benchmark, warm_profiles):
+    res = regenerate(benchmark, fig6_gpu)
+    assert res.measured["OptKK_over_RefKK_end_to_end"] == pytest.approx(3.0, rel=0.25)
+    assert res.measured["OptKK_over_RefKK_isolated"] == pytest.approx(5.0, rel=0.25)
+    for row in res.rows:
+        # bar ordering of the figure: Ref-KK-D lowest, Opt-KK-D highest
+        assert row["Ref-KK-D"] == min(v for k, v in row.items() if k != "machine")
+        assert row["Opt-KK-D"] == max(v for k, v in row.items() if k != "machine")
+    # K40 > K20X for the same code (more SMX, higher clock)
+    k20, k40 = res.rows
+    assert k40["Opt-KK-D"] > k20["Opt-KK-D"]

@@ -1,0 +1,23 @@
+"""Fig. 7 — native execution on the Xeon Phi generations (512k atoms).
+
+Paper: Opt-M over Ref is 4.71x on KNC and 5.94x on KNL; KNL delivers
+about 3x the KNC throughput.  The KNC/KNL speedups anchor the
+accelerator IPC calibration (EXPERIMENTS.md), so the asserted bands are
+tight.
+"""
+
+import pytest
+
+from conftest import regenerate
+from repro.harness.experiments import fig7_xeonphi
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_xeon_phi_native(benchmark, warm_profiles):
+    res = regenerate(benchmark, fig7_xeonphi)
+    assert res.measured["KNC"] == pytest.approx(4.71, rel=0.15)
+    assert res.measured["KNL"] == pytest.approx(5.94, rel=0.15)
+    assert res.measured["KNL_over_KNC"] == pytest.approx(3.0, rel=0.15)
+    rows = {r["system"]: r for r in res.rows}
+    assert rows["KNL"]["Opt-M ns/day"] > rows["KNC"]["Opt-M ns/day"]
+    assert rows["KNL"]["Ref ns/day"] > rows["KNC"]["Ref ns/day"]

@@ -1,0 +1,60 @@
+"""Linear scaling in atom count — the premise that lets the harness
+measure kernel statistics on a small replica and extrapolate to the
+paper's 32k-2M atom workloads.
+
+Wall-clock of the production solver across system sizes, plus the
+modeled-cycle linearity assertion."""
+
+import pytest
+
+from repro.core.tersoff.parameters import tersoff_si
+from repro.core.tersoff.production import TersoffProduction
+from repro.core.tersoff.vectorized import TersoffVectorized
+from repro.md.lattice import diamond_lattice, perturbed
+from repro.md.neighbor import NeighborList, NeighborSettings
+
+SIZES = {2: 64, 4: 512, 6: 1728, 8: 4096}
+
+
+def make_workload(cells):
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(cells, cells, cells), 0.1, seed=cells)
+    nl = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+    nl.build(system.x, system.box)
+    return params, system, nl
+
+
+@pytest.mark.benchmark(group="scaling-atoms")
+@pytest.mark.parametrize("cells", sorted(SIZES), ids=lambda c: f"{SIZES[c]}atoms")
+def test_production_scaling_wallclock(benchmark, cells):
+    params, system, nl = make_workload(cells)
+    pot = TersoffProduction(params)
+    res = benchmark(pot.compute, system, nl)
+    assert res.stats["pairs_in_cutoff"] >= 4 * system.n  # perturbation adds a few
+
+
+def test_modeled_cycles_linear():
+    per_atom = {}
+    for cells in (2, 6):
+        params, system, nl = make_workload(cells)
+        res = TersoffVectorized(params, isa="imci", scheme="1b").compute(system, nl)
+        per_atom[system.n] = res.stats["cycles"] / system.n
+    small, large = per_atom[64], per_atom[1728]
+    assert large == pytest.approx(small, rel=0.08)
+
+
+def test_neighbor_build_linear():
+    import time
+
+    params = tersoff_si()
+    times = {}
+    for cells in (6, 12):
+        system = diamond_lattice(cells, cells, cells)
+        nl = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+        t0 = time.perf_counter()
+        for _ in range(3):
+            nl.build(system.x, system.box)
+        times[system.n] = (time.perf_counter() - t0) / 3
+    # 8x the atoms must cost clearly less than O(N^2) would (64x);
+    # allow generous slack for constant overheads
+    assert times[13824] / times[1728] < 20.0

@@ -1,0 +1,42 @@
+"""Extension sweeps as benches: skin tradeoff, width scaling, weak
+scaling, and the Fig. 8 load-balance ablation."""
+
+import pytest
+
+from conftest import regenerate
+from repro.harness.sweeps import skin_sweep, weak_scaling, width_sweep
+
+
+@pytest.mark.benchmark(group="sweeps")
+def test_skin_sweep(benchmark):
+    res = regenerate(benchmark, skin_sweep)
+    rows = {r["skin"]: r for r in res.rows}
+    # the two sides of the tradeoff
+    assert rows[0.3]["rebuilds"] > rows[2.0]["rebuilds"]
+    assert rows[2.0]["kernel_cycles"] > rows[0.3]["kernel_cycles"]
+
+
+@pytest.mark.benchmark(group="sweeps")
+def test_width_sweep(benchmark):
+    res = regenerate(benchmark, width_sweep)
+    by_isa = {r["isa"]: r for r in res.rows}
+    assert by_isa["cuda"]["kernel_invocations"] < by_isa["sse4.2"]["kernel_invocations"]
+
+
+@pytest.mark.benchmark(group="sweeps")
+def test_weak_scaling(benchmark):
+    res = regenerate(benchmark, weak_scaling)
+    assert all(r["efficiency"] > 0.85 for r in res.rows)
+
+
+def test_load_balance_ablation():
+    """Fig. 8's premise: splitting the workload so host and device
+    finish together beats any naive fixed split."""
+    from repro.perf.offload import balanced_split
+
+    t_h, t_d, t_p, n = 2.0e-9, 0.8e-9, 0.1e-9, 512_000
+    frac_opt, t_opt = balanced_split(t_h, t_d, t_p, n, fixed_latency_s=0.0)
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        t_fixed = max(t_h * (1 - frac) * n, (t_d + t_p) * frac * n)
+        assert t_opt <= t_fixed + 1e-12, frac
+    assert 0.5 < frac_opt < 0.8

@@ -1,0 +1,38 @@
+"""Tables I, II, III — the benchmark hardware inventory.
+
+Regenerates each table from the machine registry and checks that every
+row of the paper is present with its published core count and ISA.
+"""
+
+import pytest
+
+from conftest import regenerate
+from repro.harness.experiments import table_rows
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table1_cpu_hardware(benchmark):
+    res = regenerate(benchmark, table_rows, "I")
+    rows = {r["Name"]: r for r in res.rows}
+    assert set(rows) == {"ARM", "WM", "SB", "HW", "HW2", "BW"}
+    assert rows["WM"]["Vector ISA"] == "sse4.2"
+    assert rows["SB"]["Vector ISA"] == "avx"
+    assert rows["BW"]["Cores"] == "2 x 18"
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table2_gpu_hardware(benchmark):
+    res = regenerate(benchmark, table_rows, "II")
+    rows = {r["Name"]: r for r in res.rows}
+    assert set(rows) == {"K20X", "K40"}
+    assert all("Tesla" in r["Accelerator"] for r in rows.values())
+    assert all(r["Accel ISA"] == "cuda" for r in rows.values())
+
+
+@pytest.mark.benchmark(group="tables")
+def test_table3_phi_hardware(benchmark):
+    res = regenerate(benchmark, table_rows, "III")
+    rows = {r["Name"]: r for r in res.rows}
+    assert set(rows) == {"SB+KNC", "IV+2KNC", "HW+KNC", "KNL"}
+    assert "2 x" in rows["IV+2KNC"]["Accelerator"]
+    assert rows["KNL"]["Vector ISA"] == "avx512"

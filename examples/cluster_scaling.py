@@ -1,0 +1,58 @@
+"""Domain decomposition: exactness at small scale, the Fig. 9 model at
+large scale.
+
+Part 1 runs the *real* distributed force computation (sequential-SPMD
+ranks with ghost atoms and reverse force communication) and verifies it
+reproduces the single-domain forces exactly.
+
+Part 2 uses the measured kernel profiles plus the halo-traffic model to
+regenerate the paper's strong-scaling study (2M atoms on Xeon-Phi-
+augmented nodes).
+
+Run:  python examples/cluster_scaling.py
+"""
+
+import numpy as np
+
+from repro import TersoffProduction, diamond_lattice, tersoff_si
+from repro.harness.experiments import fig9_strong_scaling, kernel_profile
+from repro.md.lattice import perturbed
+from repro.md.neighbor import NeighborList, NeighborSettings
+from repro.parallel.decomposition import DomainDecomposition
+
+
+def part1_exactness() -> None:
+    print("== Part 1: distributed forces are exact ==")
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(4, 4, 4), 0.1, seed=3)
+    pot = TersoffProduction(params)
+
+    neigh = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+    neigh.build(system.x, system.box)
+    serial = pot.compute(system, neigh)
+
+    for n_ranks in (2, 4, 8):
+        dd = DomainDecomposition(system, n_ranks, halo=params.max_cutoff + 1.0)
+        energy, forces, _ = dd.compute_forces(pot, skin=1.0)
+        err_e = abs(energy - serial.energy)
+        err_f = float(np.max(np.abs(forces - serial.forces)))
+        ws = dd.workload_summary()
+        print(
+            f"  {n_ranks} ranks (grid {ws['grid']}): "
+            f"|dE| = {err_e:.2e} eV, max|dF| = {err_f:.2e} eV/A, "
+            f"ghosts/rank = {ws['ghost_mean']:.0f}, imbalance = {ws['imbalance']:.2f}"
+        )
+        assert err_e < 1e-8 and err_f < 1e-9
+
+
+def part2_strong_scaling() -> None:
+    print("\n== Part 2: the Fig. 9 strong-scaling study (modeled) ==")
+    # warm the profiles once so the figure regenerates quickly
+    kernel_profile("Ref", "avx")
+    res = fig9_strong_scaling()
+    print(res.render())
+
+
+if __name__ == "__main__":
+    part1_exactness()
+    part2_strong_scaling()

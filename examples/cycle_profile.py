@@ -1,0 +1,59 @@
+"""Where do the cycles go?  Kernel profiling across ISAs and options.
+
+Uses the lane simulator's instruction accounting to print the kind of
+breakdown that motivated each of the paper's optimizations: gathers
+hurting pre-AVX2 parts, conflict scatters dominating IMCI scheme (1b),
+spinning without the Sec. IV-D list filter, and the transcendental
+core that makes Tersoff "a good target for vectorization".
+
+Run:  python examples/cycle_profile.py
+"""
+
+from repro.core.tersoff.parameters import tersoff_si
+from repro.core.tersoff.vectorized import TersoffVectorized
+from repro.md.lattice import diamond_lattice, perturbed
+from repro.md.neighbor import NeighborList, NeighborSettings
+from repro.perf.report import compare_profiles, render_profile
+
+
+def main() -> None:
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(3, 3, 3), 0.1, seed=6)
+    neigh = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+    neigh.build(system.x, system.box)
+    print(f"workload: {system.n} Si atoms, skin-extended list "
+          f"({neigh.n_pairs // system.n} entries/atom)\n")
+
+    # detailed profile of the headline configuration
+    pot = TersoffVectorized(params, isa="imci", precision="mixed", scheme="1b")
+    res = pot.compute(system, neigh)
+    print(render_profile(res.stats["kernel_stats"], "imci",
+                         width=res.stats["width"], label="Opt-M, scheme 1b, IMCI"))
+    print()
+
+    # cross-configuration comparison
+    entries = []
+    for label, kwargs in (
+        ("1a / AVX (double)", dict(isa="avx", scheme="1a")),
+        ("1b / AVX2 (single)", dict(isa="avx2", precision="single", scheme="1b")),
+        ("1b / IMCI (mixed)", dict(isa="imci", precision="mixed", scheme="1b")),
+        ("1b / AVX-512 (mixed)", dict(isa="avx512", precision="mixed", scheme="1b")),
+        ("1b / IMCI, no filter", dict(isa="imci", precision="mixed", scheme="1b",
+                                      filter_neighbors=False)),
+        ("1b / IMCI, no fast-fwd", dict(isa="imci", precision="mixed", scheme="1b",
+                                        fast_forward=False, filter_neighbors=False)),
+        ("1c / CUDA (double)", dict(isa="cuda", scheme="1c")),
+    ):
+        p = TersoffVectorized(params, **kwargs)
+        r = p.compute(system, neigh)
+        entries.append((label, r.stats["kernel_stats"], r.stats["isa"], r.stats["width"]))
+    print("configuration comparison (same workload):")
+    print(compare_profiles(entries))
+    print()
+    print("reading guide: AVX-512's conflict-detection shrinks the scatter bill")
+    print("vs IMCI; dropping the list filter inflates spin; dropping fast-forward")
+    print("trades spin for masked (wasted) kernel lanes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Reproduce Fig. 2 itself: the mask-status diagram of the K loop.
+
+Records the lane states of one 16-wide vector register during the
+three-body sweep, with and without fast-forwarding (Sec. IV-C), and
+prints the two traces side by side — time downward, lanes across,
+exactly like the paper's figure:
+
+- ``.``  lane spinning through skin entries (the paper's red),
+- ``r``  lane ready and idling for the others (green),
+- ``C``  kernel executing for this lane (blue),
+- ``x``  lane's list exhausted.
+
+Run:  python examples/fig2_trace.py
+"""
+
+from repro.core.tersoff.parameters import tersoff_si
+from repro.core.tersoff.vectorized import TersoffVectorized
+from repro.md.lattice import diamond_lattice, perturbed
+from repro.md.neighbor import NeighborList, NeighborSettings
+
+
+def trace_for(fast_forward: bool):
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(2, 2, 2), 0.1, seed=3)
+    neigh = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+    neigh.build(system.x, system.box)
+    pot = TersoffVectorized(
+        params, isa="imci", precision="single", scheme="1b",
+        fast_forward=fast_forward, filter_neighbors=False, trace_register=0,
+    )
+    pot.compute(system, neigh)
+    return pot.last_trace
+
+
+def main() -> None:
+    naive = trace_for(False)
+    ff = trace_for(True)
+    left = naive.render(title="naive (Fig. 2 left)").splitlines()
+    right = ff.render(title="fast-forward (Fig. 2 right)").splitlines()
+    width = max(len(l) for l in left) + 6
+    rows = max(len(left), len(right))
+    print("Mask status during the K loop (W = 16, skin atoms unfiltered)\n")
+    for k in range(rows):
+        a = left[k] if k < len(left) else ""
+        b = right[k] if k < len(right) else ""
+        print(f"{a:<{width}s}{b}")
+    print()
+    print("The paper's observation, measured:")
+    print(f"  naive compute occupancy        : {naive.compute_occupancy:.2f} "
+          f"({naive.kernel_invocations} kernel invocations)")
+    print(f"  fast-forward compute occupancy : {ff.compute_occupancy:.2f} "
+          f"({ff.kernel_invocations} kernel invocations)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""repro — reproduction of "The Vectorization of the Tersoff Multi-Body
+Potential: An Exercise in Performance Portability" (Höhnerbach, Ismail,
+Bientinesi; SC'16).
+
+Quick start::
+
+    from repro import tersoff_si, diamond_lattice, Simulation, TersoffProduction
+    from repro.md.lattice import seeded_velocities
+
+    system = diamond_lattice(8, 8, 8)           # 4096 Si atoms
+    seeded_velocities(system, 1000.0)
+    sim = Simulation(system, TersoffProduction(tersoff_si()))
+    result = sim.run(100, thermo_every=10)
+
+Packages
+--------
+:mod:`repro.md`
+    The MD substrate (LAMMPS stand-in): boxes, lattices, neighbor
+    lists, integrators, baseline pair potential, run driver.
+:mod:`repro.core`
+    The paper's contribution: the Tersoff potential in reference,
+    scalar-optimized, wide-production and lane-simulated vectorized
+    forms, plus the execution-mode/scheme policy.
+:mod:`repro.vector`
+    The portable vector abstraction: ISA registry, lane-faithful
+    backend, the four building blocks, instruction-cost accounting.
+:mod:`repro.parallel`
+    Simulated MPI: domain decomposition, halo exchange, network models,
+    cluster runs.
+:mod:`repro.perf`
+    The machines of Tables I-III and the cycles -> ns/day model.
+:mod:`repro.harness`
+    Experiment drivers regenerating every table and figure.
+"""
+
+from repro.core.schemes import MODES, make_solver, select_scheme
+from repro.core.tersoff import (
+    TersoffOptimized,
+    TersoffParams,
+    TersoffProduction,
+    TersoffReference,
+    TersoffVectorized,
+    tersoff_carbon,
+    tersoff_germanium,
+    tersoff_si,
+    tersoff_si_1988,
+    tersoff_sic,
+    tersoff_sige,
+)
+from repro.md import (
+    AtomSystem,
+    Box,
+    LennardJones,
+    NeighborList,
+    NeighborSettings,
+    Simulation,
+    diamond_lattice,
+)
+from repro.vector import ISA, Precision, VectorBackend, get_isa, list_isas
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AtomSystem",
+    "Box",
+    "ISA",
+    "LennardJones",
+    "MODES",
+    "NeighborList",
+    "NeighborSettings",
+    "Precision",
+    "Simulation",
+    "TersoffOptimized",
+    "TersoffParams",
+    "TersoffProduction",
+    "TersoffReference",
+    "TersoffVectorized",
+    "VectorBackend",
+    "__version__",
+    "diamond_lattice",
+    "get_isa",
+    "list_isas",
+    "make_solver",
+    "select_scheme",
+    "tersoff_carbon",
+    "tersoff_germanium",
+    "tersoff_si",
+    "tersoff_si_1988",
+    "tersoff_sic",
+    "tersoff_sige",
+]

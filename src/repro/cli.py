@@ -1,0 +1,209 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library, ISA and machine inventory.
+``run``
+    Run an MD simulation of Tersoff (or SW) silicon and print thermo.
+``figure``
+    Regenerate one of the paper's figures/tables (fig1..fig9, table1..3).
+``sweep``
+    The performance-portability sweep (modes x machines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.perf.machines import list_machines
+    from repro.vector.isa import ISA_REGISTRY
+
+    print(f"repro {repro.__version__} — Tersoff vectorization reproduction (SC'16)")
+    print("\nvector backends:")
+    for name, isa in sorted(ISA_REGISTRY.items()):
+        feats = []
+        if isa.has_native_gather:
+            feats.append("gather")
+        if isa.has_integer_vector:
+            feats.append("int")
+        if isa.has_conflict_detection:
+            feats.append("cd")
+        if isa.has_free_masking:
+            feats.append("mask")
+        if isa.has_warp_vote:
+            feats.append("vote")
+        print(f"  {name:8s} W(double)={isa.width_double:<3d} W(single)={isa.width_single:<3d} "
+              f"[{', '.join(feats)}]")
+    print("\nmodeled machines (Tables I-III):")
+    for m in list_machines():
+        print(f"  {m.describe()}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core.schemes import make_solver
+    from repro.core.sw import StillingerWeberProduction, sw_silicon
+    from repro.md.lattice import cells_for_atoms, diamond_lattice, seeded_velocities
+    from repro.md.neighbor import NeighborSettings
+    from repro.md.simulation import Simulation
+    from repro.md.thermo import ThermoSample
+    from repro.core.tersoff.parameters import tersoff_si
+
+    cells = cells_for_atoms(args.atoms)
+    system = diamond_lattice(*cells)
+    seeded_velocities(system, args.temperature, seed=args.seed)
+    if args.potential == "sw":
+        params = sw_silicon()
+        pot = StillingerWeberProduction(params)
+        cutoff = params.cut
+    else:
+        params = tersoff_si()
+        pot = make_solver(params, args.mode)
+        cutoff = params.max_cutoff
+    sim = Simulation(system, pot, neighbor=NeighborSettings(cutoff=cutoff, skin=args.skin))
+    print(f"{system.n} Si atoms, {args.potential} ({args.mode}), "
+          f"{args.steps} steps at {args.temperature:.0f} K")
+    print(ThermoSample.format_header())
+    result = sim.run(args.steps, thermo_every=max(args.steps // 10, 1))
+    for t in result.thermo:
+        print(t.format_row())
+    print(f"\n{result.timers.breakdown()}")
+    print(f"throughput: {result.ns_per_day(sim.dt):.3f} ns/day "
+          f"({result.neighbor_builds} neighbor rebuilds)")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.harness import experiments as E
+
+    drivers = {
+        "fig1": E.fig1_scheme_mappings,
+        "fig2": E.fig2_masking,
+        "fig3": E.fig3_precision_validation,
+        "fig4": E.fig4_singlethread,
+        "fig5": E.fig5_singlenode,
+        "fig6": E.fig6_gpu,
+        "fig7": E.fig7_xeonphi,
+        "fig8": E.fig8_phi_nodes,
+        "fig9": E.fig9_strong_scaling,
+        "table1": lambda: E.table_rows("I"),
+        "table2": lambda: E.table_rows("II"),
+        "table3": lambda: E.table_rows("III"),
+    }
+    if args.which == "all":
+        for name, driver in drivers.items():
+            print(driver().render())
+            print()
+        return 0
+    if args.which not in drivers:
+        print(f"unknown artifact {args.which!r}; choose from {', '.join(drivers)} or 'all'",
+              file=sys.stderr)
+        return 2
+    print(drivers[args.which]().render())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.harness.validation import render_validation, run_validation
+
+    checks = run_validation(verbose=args.verbose)
+    print(render_validation(checks))
+    return 0 if all(ok for _, ok, _ in checks) else 1
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.core.tersoff.parameters import tersoff_si
+    from repro.core.tersoff.vectorized import TersoffVectorized
+    from repro.md.lattice import diamond_lattice, perturbed
+    from repro.md.neighbor import NeighborList, NeighborSettings
+    from repro.perf.report import render_profile
+
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(3, 3, 3), 0.1, seed=6)
+    neigh = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+    neigh.build(system.x, system.box)
+    pot = TersoffVectorized(params, isa=args.isa, precision=args.precision, scheme=args.scheme)
+    res = pot.compute(system, neigh)
+    print(render_profile(res.stats["kernel_stats"], res.stats["isa"],
+                         width=res.stats["width"],
+                         label=f"{args.precision} scheme {res.stats['scheme']}"))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.harness.experiments import PAPER_ATOMS, kernel_profile
+    from repro.harness.reporting import format_table
+    from repro.perf.machines import get_machine
+    from repro.perf.model import PerformanceModel
+
+    rows = []
+    for name in args.machines:
+        machine = get_machine(name)
+        model = PerformanceModel(machine)
+        row = {"machine": name, "ISA": machine.isa}
+        for mode in ("Ref", "Opt-D", "Opt-S", "Opt-M"):
+            if machine.isa == "neon" and mode == "Opt-M":
+                row[mode] = "n/a"
+                continue
+            profile = kernel_profile(mode, machine.isa)
+            cores = 1 if args.single_thread else machine.cores
+            row[mode] = round(model.step_time(profile, PAPER_ATOMS["fig4"], cores=cores).ns_per_day(), 3)
+        rows.append(row)
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="library / ISA / machine inventory")
+    p_info.set_defaults(func=_cmd_info)
+
+    p_run = sub.add_parser("run", help="run an MD simulation")
+    p_run.add_argument("--atoms", type=int, default=512)
+    p_run.add_argument("--steps", type=int, default=200)
+    p_run.add_argument("--temperature", type=float, default=600.0)
+    p_run.add_argument("--mode", choices=("Ref", "Opt-D", "Opt-S", "Opt-M"), default="Opt-M")
+    p_run.add_argument("--potential", choices=("tersoff", "sw"), default="tersoff")
+    p_run.add_argument("--skin", type=float, default=1.0)
+    p_run.add_argument("--seed", type=int, default=2016)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper artifact")
+    p_fig.add_argument("which", help="fig1..fig9, table1..table3, or 'all'")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_sweep = sub.add_parser("sweep", help="performance-portability sweep")
+    p_sweep.add_argument("--machines", nargs="+",
+                         default=["ARM", "WM", "SB", "HW", "BW", "KNC", "KNL"])
+    p_sweep.add_argument("--single-thread", action="store_true")
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_val = sub.add_parser("validate", help="run the correctness battery")
+    p_val.add_argument("--verbose", action="store_true")
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_prof = sub.add_parser("profile", help="cycle profile of the vector kernel")
+    p_prof.add_argument("--isa", default="imci")
+    p_prof.add_argument("--precision", default="mixed",
+                        choices=("double", "single", "mixed"))
+    p_prof.add_argument("--scheme", default="auto")
+    p_prof.set_defaults(func=_cmd_profile)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,27 @@
+"""Stillinger-Weber: a second multi-body potential on the same substrate.
+
+The paper's related work ([4], Brown et al.) treats Stillinger-Weber as
+the canonical "other" three-body potential, and the conclusions argue
+the approach generalizes beyond Tersoff.  This package demonstrates
+that: SW reuses the identical neighbor-list, filter and triplet
+machinery — only the functional forms differ.
+
+- :class:`~repro.core.sw.reference.StillingerWeberReference` — plain
+  triple-loop oracle;
+- :class:`~repro.core.sw.production.StillingerWeberProduction` — the
+  wide batched path with precision modes, mirroring the Tersoff
+  production solver.
+"""
+
+from repro.core.sw.parameters import SWParams, sw_silicon
+from repro.core.sw.production import StillingerWeberProduction
+from repro.core.sw.reference import StillingerWeberReference
+from repro.core.sw.vectorized import StillingerWeberVectorized
+
+__all__ = [
+    "SWParams",
+    "StillingerWeberProduction",
+    "StillingerWeberReference",
+    "StillingerWeberVectorized",
+    "sw_silicon",
+]

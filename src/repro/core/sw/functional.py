@@ -1,0 +1,63 @@
+"""Stillinger-Weber functional forms and analytic derivatives.
+
+Dtype-generic numpy, like :mod:`repro.core.tersoff.functional`: feed
+float32 for the single-precision solver.  All forms return exactly zero
+at and beyond the cutoff ``a*sigma`` (the exponential tails are clamped
+there), so skin atoms contribute nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sw.parameters import SWParams
+
+# keep exp arguments finite as r -> a*sigma from below
+_MIN_GAP = 1.0e-9
+
+
+def _tail(r, sigma_eff, cut):
+    """exp(sigma_eff / (r - cut)) for r < cut, else 0 (and its log-derivative).
+
+    Returns ``(value, d/dr value / value)``; the log-derivative is
+    +sigma_eff/(cut-r)^2 with the sign folded in (it is negative).
+    """
+    r = np.asarray(r)
+    inside = r < cut - _MIN_GAP
+    gap = np.where(inside, r - cut, -1.0)
+    with np.errstate(over="ignore", divide="ignore"):
+        value = np.where(inside, np.exp(np.maximum(sigma_eff / gap, -69.0)), 0.0)
+        log_d = np.where(inside, -sigma_eff / (gap * gap), 0.0)
+    return value.astype(r.dtype, copy=False), log_d.astype(r.dtype, copy=False)
+
+
+def phi2(r, p: SWParams):
+    """Two-body term and its derivative: returns ``(phi2, d phi2 / dr)``."""
+    r = np.asarray(r)
+    tail, tail_ld = _tail(r, p.sigma, p.cut)
+    with np.errstate(divide="ignore", over="ignore"):
+        sr = p.sigma / np.where(r > 0, r, 1.0)
+        poly = p.B * sr**p.p - sr**p.q
+        dpoly = (-p.p * p.B * sr**p.p + p.q * sr**p.q) / r
+    e = p.A * p.epsilon * poly * tail
+    de = p.A * p.epsilon * (dpoly * tail + poly * tail * tail_ld)
+    return e.astype(r.dtype, copy=False), de.astype(r.dtype, copy=False)
+
+
+def phi3(rij, rik, cos_t, p: SWParams):
+    """Three-body term and its partials.
+
+    Returns ``(e, de_drij, de_drik, de_dcos)`` for
+    ``e = lam eps (cos - cos0)^2 g(rij) g(rik)`` with the gamma tails.
+    """
+    rij = np.asarray(rij)
+    g_ij, g_ij_ld = _tail(rij, p.gamma * p.sigma, p.cut)
+    g_ik, g_ik_ld = _tail(rik, p.gamma * p.sigma, p.cut)
+    delta = np.asarray(cos_t) - p.cos_theta0
+    base = p.lam * p.epsilon * delta * delta
+    e = base * g_ij * g_ik
+    de_drij = e * g_ij_ld
+    de_drik = e * g_ik_ld
+    de_dcos = 2.0 * p.lam * p.epsilon * delta * g_ij * g_ik
+    cast = lambda x: np.asarray(x).astype(rij.dtype, copy=False)  # noqa: E731
+    return cast(e), cast(de_drij), cast(de_drik), cast(de_dcos)

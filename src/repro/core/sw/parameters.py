@@ -1,0 +1,60 @@
+"""Stillinger-Weber parameters (single species).
+
+The functional form (Stillinger & Weber, PRB 31, 5262 (1985)):
+
+    V  = sum_{i<j} phi2(r_ij) + sum_i sum_{j<k in N_i} phi3(r_ij, r_ik, theta_jik)
+
+    phi2(r) = A eps [B (sig/r)^p - (sig/r)^q] exp(sig / (r - a sig))
+    phi3    = lam eps (cos t - cos t0)^2
+              exp(gam sig / (r_ij - a sig)) exp(gam sig / (r_ik - a sig))
+
+Both terms vanish smoothly (with all derivatives) at r = a*sig, so SW
+needs no separate cutoff function — a structural contrast to Tersoff's
+fC window that the triplet machinery absorbs without change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class SWParams:
+    """One-species Stillinger-Weber parameter set (LAMMPS field names)."""
+
+    epsilon: float  # eV
+    sigma: float  # Angstrom
+    a: float  # cutoff in units of sigma
+    lam: float  # three-body strength (lambda)
+    gamma: float
+    cos_theta0: float
+    A: float
+    B: float
+    p: float
+    q: float
+    cut: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if min(self.epsilon, self.sigma, self.a) <= 0.0:
+            raise ValueError("epsilon, sigma and a must be positive")
+        object.__setattr__(self, "cut", self.a * self.sigma)
+
+    @property
+    def max_cutoff(self) -> float:
+        return self.cut
+
+
+def sw_silicon() -> SWParams:
+    """The original 1985 silicon parameterization (LAMMPS Si.sw)."""
+    return SWParams(
+        epsilon=2.1683,
+        sigma=2.0951,
+        a=1.80,
+        lam=21.0,
+        gamma=1.20,
+        cos_theta0=-1.0 / 3.0,
+        A=7.049556277,
+        B=0.6022245584,
+        p=4.0,
+        q=0.0,
+    )

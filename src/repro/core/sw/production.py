@@ -1,0 +1,115 @@
+"""Batched Stillinger-Weber — reusing the Tersoff filter machinery.
+
+The point of this module is the paper's generality claim: the *same*
+scalar filter (:func:`repro.core.tersoff.prepare.build_pairs`) and
+triplet expansion feed a completely different multi-body functional
+form.  Only the inner arithmetic changed; the packing, masking and
+accumulation strategy carried over verbatim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sw.functional import phi2, phi3
+from repro.core.sw.parameters import SWParams
+from repro.core.tersoff.prepare import PairData, build_triplets, group_by_i
+from repro.md.atoms import AtomSystem
+from repro.md.neighbor import NeighborList
+from repro.md.potential import ForceResult, Potential
+from repro.vector.precision import Precision
+
+
+def _bincount3(idx: np.ndarray, vec: np.ndarray, n: int) -> np.ndarray:
+    out = np.empty((n, 3))
+    for axis in range(3):
+        out[:, axis] = np.bincount(idx, weights=vec[:, axis], minlength=n)
+    return out
+
+
+class StillingerWeberProduction(Potential):
+    """Wide batched SW with double/single/mixed precision."""
+
+    needs_full_list = True
+
+    def __init__(self, params: SWParams, *, precision: Precision | str = Precision.DOUBLE):
+        self.params = params
+        self.precision = Precision.parse(precision)
+        self.cutoff = params.cut
+
+    def _pairs(self, system: AtomSystem, neigh: NeighborList) -> PairData:
+        """SW has a single species/cutoff: filter directly on it."""
+        i_idx, j_idx = neigh.pairs()
+        d = system.box.minimum_image(system.x[j_idx] - system.x[i_idx])
+        r = np.sqrt(np.einsum("ij,ij->i", d, d))
+        if not np.isfinite(r).all():
+            bad = int(i_idx[np.nonzero(~np.isfinite(r))[0][0]])
+            raise ValueError(f"non-finite interatomic distance involving atom {bad}")
+        keep = r < self.params.cut
+        zeros = np.zeros(int(np.count_nonzero(keep)), dtype=np.int64)
+        return PairData(
+            i_idx=i_idx[keep], j_idx=j_idx[keep], d=d[keep], r=r[keep],
+            ti=zeros, tj=zeros, pair_flat=zeros,
+            n_atoms=system.n, n_list_entries=i_idx.shape[0],
+        )
+
+    def compute(self, system: AtomSystem, neigh: NeighborList) -> ForceResult:
+        self.check_list(neigh)
+        p = self.params
+        cd = self.precision.compute_dtype
+        n = system.n
+        pairs = self._pairs(system, neigh)
+        P = pairs.n_pairs
+        if P == 0:
+            return ForceResult(energy=0.0, forces=np.zeros((n, 3)), virial=0.0,
+                               stats={"pairs_in_cutoff": 0, "triples": 0})
+
+        d_ij = pairs.d.astype(cd)
+        r_ij = pairs.r.astype(cd)
+
+        # ---- two-body -------------------------------------------------------
+        e2, de2 = phi2(r_ij, p)
+        fpair = (-0.5 * de2 / r_ij).astype(np.float64)
+        energy = 0.5 * float(np.sum(e2.astype(np.float64)))
+        fvec = fpair[:, None] * pairs.d
+        forces = np.zeros((n, 3))
+        forces -= _bincount3(pairs.i_idx, fvec, n)
+        forces += _bincount3(pairs.j_idx, fvec, n)
+        virial = float(np.sum(fpair * pairs.r * pairs.r))
+
+        # ---- three-body: unordered (j, k) via ordered expansion + row filter -
+        tri = build_triplets(pairs, pairs)
+        keep = tri.tri_k > tri.tri_pair  # each unordered pair once
+        tp = tri.tri_pair[keep]
+        tk = tri.tri_k[keep]
+        T = tp.shape[0]
+        if T:
+            rij_t = r_ij[tp]
+            rik_t = r_ij[tk]
+            dij_t = d_ij[tp]
+            dik_t = d_ij[tk]
+            cos_t = np.einsum("ij,ij->i", dij_t, dik_t) / (rij_t * rik_t)
+            e3, de_drij, de_drik, de_dcos = phi3(rij_t, rik_t, cos_t, p)
+            energy += float(np.sum(e3.astype(np.float64)))
+            hat_ij = dij_t / rij_t[:, None]
+            hat_ik = dik_t / rik_t[:, None]
+            dcos_dj = hat_ik / rij_t[:, None] - (cos_t / rij_t)[:, None] * hat_ij
+            dcos_dk = hat_ij / rik_t[:, None] - (cos_t / rik_t)[:, None] * hat_ik
+            fj = -(de_drij[:, None] * hat_ij + de_dcos[:, None] * dcos_dj).astype(np.float64)
+            fk = -(de_drik[:, None] * hat_ik + de_dcos[:, None] * dcos_dk).astype(np.float64)
+            forces += _bincount3(pairs.j_idx[tp], fj, n)
+            forces += _bincount3(pairs.j_idx[tk], fk, n)
+            forces -= _bincount3(pairs.i_idx[tp], fj + fk, n)
+            virial += float(np.sum(np.einsum("ij,ij->i", pairs.d[tp], fj)
+                                   + np.einsum("ij,ij->i", pairs.d[tk], fk)))
+
+        # per-atom energies: half of each ordered pair to i, each triple
+        # to its center atom
+        per_atom = np.bincount(pairs.i_idx, weights=0.5 * e2.astype(np.float64), minlength=n)
+        if T:
+            per_atom += np.bincount(pairs.i_idx[tp], weights=e3.astype(np.float64), minlength=n)
+        stats = {"pairs_in_cutoff": P, "triples": int(T),
+                 "list_entries": pairs.n_list_entries,
+                 "filter_efficiency": pairs.filter_efficiency,
+                 "per_atom_energy": per_atom}
+        return ForceResult(energy=energy, forces=forces, virial=virial, stats=stats)

@@ -1,0 +1,86 @@
+"""Stillinger-Weber reference implementation: plain triple loop.
+
+The oracle for the batched path; same contract as the Tersoff
+reference (skin-tolerant full neighbor lists, ½-per-ordered-pair
+two-body convention, unordered j<k triples per center atom).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sw.functional import phi2, phi3
+from repro.core.sw.parameters import SWParams
+from repro.md.atoms import AtomSystem
+from repro.md.neighbor import NeighborList
+from repro.md.potential import ForceResult, Potential
+
+
+class StillingerWeberReference(Potential):
+    """Triple-loop SW evaluation (double precision)."""
+
+    needs_full_list = True
+
+    def __init__(self, params: SWParams):
+        self.params = params
+        self.cutoff = params.cut
+
+    def compute(self, system: AtomSystem, neigh: NeighborList) -> ForceResult:
+        self.check_list(neigh)
+        p = self.params
+        x = system.x
+        box = system.box
+        n = system.n
+        forces = np.zeros((n, 3))
+        energy = 0.0
+        virial = 0.0
+        n_pairs = 0
+        n_triples = 0
+
+        for i in range(n):
+            slist = neigh.neighbors_of(i)
+            dvecs = box.minimum_image(x[slist] - x[i])
+            dists = np.sqrt(np.einsum("ij,ij->i", dvecs, dvecs))
+            within = np.nonzero(dists < p.cut)[0]
+
+            # two-body: 1/2 per ordered pair
+            for jj in within:
+                j = int(slist[jj])
+                rij = float(dists[jj])
+                e2, de2 = phi2(rij, p)
+                energy += 0.5 * float(e2)
+                fpair = -0.5 * float(de2) / rij  # force-over-r on the pair
+                forces[i] -= fpair * dvecs[jj]
+                forces[j] += fpair * dvecs[jj]
+                virial += fpair * rij * rij
+                n_pairs += 1
+
+            # three-body: unordered (j, k) per center i
+            for a in range(len(within)):
+                jj = within[a]
+                j = int(slist[jj])
+                rij = float(dists[jj])
+                dij = dvecs[jj]
+                for b in range(a + 1, len(within)):
+                    kk = within[b]
+                    k = int(slist[kk])
+                    rik = float(dists[kk])
+                    dik = dvecs[kk]
+                    cos_t = float(np.dot(dij, dik) / (rij * rik))
+                    e3, de_drij, de_drik, de_dcos = phi3(rij, rik, cos_t, p)
+                    energy += float(e3)
+                    hat_ij = dij / rij
+                    hat_ik = dik / rik
+                    dcos_dj = hat_ik / rij - cos_t * dij / (rij * rij)
+                    dcos_dk = hat_ij / rik - cos_t * dik / (rik * rik)
+                    fj = -(float(de_drij) * hat_ij + float(de_dcos) * dcos_dj)
+                    fk = -(float(de_drik) * hat_ik + float(de_dcos) * dcos_dk)
+                    forces[j] += fj
+                    forces[k] += fk
+                    forces[i] -= fj + fk
+                    virial += float(np.dot(dij, fj) + np.dot(dik, fk))
+                    n_triples += 1
+
+        stats = {"pairs_in_cutoff": n_pairs, "triples_in_cutoff": n_triples,
+                 "list_entries": neigh.n_pairs}
+        return ForceResult(energy=energy, forces=forces, virial=virial, stats=stats)

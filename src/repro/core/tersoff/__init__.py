@@ -1,0 +1,50 @@
+"""The Tersoff multi-body potential — the paper's primary contribution.
+
+Implementations, in the order the paper develops them:
+
+- :class:`~repro.core.tersoff.reference.TersoffReference` — Algorithm 2,
+  the LAMMPS-shipped baseline (``Ref``);
+- :class:`~repro.core.tersoff.optimized.TersoffOptimized` — Algorithm 3
+  scalar optimizations (Sec. IV-A);
+- :class:`~repro.core.tersoff.vectorized.TersoffVectorized` — the
+  schemes (1a)/(1b)/(1c) on the portable vector abstraction
+  (Sec. IV-B/C/D), instruction-counted per ISA;
+- :class:`~repro.core.tersoff.production.TersoffProduction` — the wide
+  numpy rendition of the optimized kernel used for real simulations.
+"""
+
+from repro.core.tersoff.optimized import TersoffOptimized
+from repro.core.tersoff.parameters import (
+    ELEMENT_SETS,
+    TersoffEntry,
+    TersoffParams,
+    format_lammps_tersoff,
+    parse_lammps_tersoff,
+    tersoff_carbon,
+    tersoff_germanium,
+    tersoff_si,
+    tersoff_si_1988,
+    tersoff_sic,
+    tersoff_sige,
+)
+from repro.core.tersoff.production import TersoffProduction
+from repro.core.tersoff.reference import TersoffReference
+from repro.core.tersoff.vectorized import TersoffVectorized
+
+__all__ = [
+    "ELEMENT_SETS",
+    "TersoffEntry",
+    "TersoffOptimized",
+    "TersoffParams",
+    "TersoffProduction",
+    "TersoffReference",
+    "TersoffVectorized",
+    "format_lammps_tersoff",
+    "parse_lammps_tersoff",
+    "tersoff_carbon",
+    "tersoff_germanium",
+    "tersoff_si",
+    "tersoff_si_1988",
+    "tersoff_sic",
+    "tersoff_sige",
+]

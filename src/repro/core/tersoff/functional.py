@@ -1,0 +1,211 @@
+"""Tersoff functional forms and their analytic derivatives (Eqs. 5-7).
+
+All functions are dtype-generic numpy: feed float64 and you get the
+double-precision solver, feed float32 and the rounding behaviour of the
+paper's Opt-S mode is reproduced exactly.  Scalars work too (the pure
+Python reference implementation calls these per interaction).
+
+Following LAMMPS ``pair_tersoff.cpp``:
+
+- ``f_c``  : smooth cutoff, 1 -> 0 over the window [R-D, R+D];
+- ``f_r``  : repulsive pair term  A exp(-lam1 r);
+- ``f_a``  : attractive pair term -B exp(-lam2 r);
+- ``g``    : angular strength, gamma (1 + c^2/d^2 - c^2/(d^2+(h-cos)^2));
+- ``b``    : bond order (1 + (beta zeta)^n)^(-1/2n), evaluated through
+  the four-branch series expansion LAMMPS uses so the zeta -> 0 and
+  zeta -> inf limits are finite in every precision;
+- ``zeta_exp`` : the distance-asymmetry weight exp(lam3^m (rij-rik)^m).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+HALF_PI = np.pi / 2.0
+QUARTER_PI = np.pi / 4.0
+
+
+def f_c(r, R, D):
+    """Smooth cutoff function fC (Eq. 5 context; LAMMPS ters_fc)."""
+    r = np.asarray(r)
+    arg = HALF_PI * (r - R) / D
+    mid = 0.5 * (1.0 - np.sin(np.clip(arg, -HALF_PI, HALF_PI)))
+    out = np.where(r < R - D, 1.0, np.where(r > R + D, 0.0, mid))
+    return out.astype(r.dtype, copy=False)
+
+
+def f_c_d(r, R, D):
+    """d fC / dr (LAMMPS ters_fc_d)."""
+    r = np.asarray(r)
+    arg = HALF_PI * (r - R) / D
+    inside = (r >= R - D) & (r <= R + D)
+    deriv = -(QUARTER_PI / D) * np.cos(np.where(inside, arg, 0.0))
+    return np.where(inside, deriv, 0.0).astype(r.dtype, copy=False)
+
+
+def f_r(r, A, lam1):
+    """Repulsive pair term fR = A exp(-lam1 r)."""
+    r = np.asarray(r)
+    return A * np.exp(-lam1 * r)
+
+
+def f_r_d(r, A, lam1):
+    """d fR / dr."""
+    return -lam1 * f_r(r, A, lam1)
+
+
+def f_a(r, B, lam2):
+    """Attractive pair term fA = -B exp(-lam2 r)."""
+    r = np.asarray(r)
+    return -B * np.exp(-lam2 * r)
+
+
+def f_a_d(r, B, lam2):
+    """d fA / dr."""
+    return -lam2 * f_a(r, B, lam2)
+
+
+def g_angle(cos_theta, gamma, c, d, h):
+    """Angular function g(theta) (LAMMPS ters_gijk)."""
+    cos_theta = np.asarray(cos_theta)
+    hcth = h - cos_theta
+    c2 = c * c
+    d2 = d * d
+    return gamma * (1.0 + c2 / d2 - c2 / (d2 + hcth * hcth))
+
+
+def g_angle_d(cos_theta, gamma, c, d, h):
+    """d g / d cos(theta) (LAMMPS ters_gijk_d)."""
+    cos_theta = np.asarray(cos_theta)
+    hcth = h - cos_theta
+    c2 = c * c
+    d2 = d * d
+    denom = d2 + hcth * hcth
+    return gamma * (-2.0 * c2 * hcth) / (denom * denom)
+
+
+def zeta_exp(rij, rik, lam3, m):
+    """The exp(lam3^m (rij - rik)^m) weight inside zeta (Eq. 7).
+
+    ``m`` is 3 or 1 per parameter entry; array-valued m is supported
+    for mixed-species triplet batches.  The exponent is clamped at +69
+    (exp ~ 1e30) like production MD codes do, so skin-atom triplets far
+    outside the cutoff cannot overflow single precision; fC multiplies
+    the result by exactly zero there anyway.
+    """
+    rij = np.asarray(rij)
+    delr = rij - rik
+    lam3_delr = lam3 * delr
+    expo = np.where(np.asarray(m) == 3, lam3_delr * lam3_delr * lam3_delr, lam3_delr)
+    return np.exp(np.minimum(expo, 69.0))
+
+
+def zeta_exp_d_over(rij, rik, lam3, m):
+    """d/d(rij) of zeta_exp, divided by zeta_exp (i.e. the log-derivative).
+
+    For m=3 this is 3 lam3^3 (rij-rik)^2; for m=1 it is lam3.  The
+    derivative with respect to rik is the negative.  Clamped
+    consistently with :func:`zeta_exp`.
+    """
+    rij = np.asarray(rij)
+    delr = rij - rik
+    lam3_delr = lam3 * delr
+    expo = np.where(np.asarray(m) == 3, lam3_delr * lam3_delr * lam3_delr, lam3_delr)
+    raw = np.where(np.asarray(m) == 3, 3.0 * lam3 * lam3_delr * lam3_delr, lam3 * np.ones_like(rij))
+    # where the exponent is clamped the weight is constant -> derivative 0
+    return np.where(expo >= 69.0, 0.0, raw)
+
+
+def b_order(zeta, beta, n, c1, c2, c3, c4):
+    """Bond order b_ij (Eq. 6) via LAMMPS' guarded series branches."""
+    zeta = np.asarray(zeta)
+    tmp = beta * zeta
+    # Branches outside their validity window may overflow; np.where
+    # discards them, so silence the spurious FP warnings.
+    with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+        tmp_safe = np.maximum(tmp, 1.0e-300)
+        tmp_n = np.power(tmp_safe, n)
+        exact = np.power(1.0 + tmp_n, -1.0 / (2.0 * n))
+        large = 1.0 / np.sqrt(tmp_safe)
+        large2 = (1.0 - np.power(tmp_safe, -n) / (2.0 * n)) / np.sqrt(tmp_safe)
+        small2 = 1.0 - tmp_n / (2.0 * n)
+    out = exact
+    out = np.where(tmp < c3, small2, out)
+    out = np.where(tmp < c4, 1.0, out)
+    out = np.where(tmp > c2, large2, out)
+    out = np.where(tmp > c1, large, out)
+    return out.astype(zeta.dtype, copy=False)
+
+
+def b_order_d(zeta, beta, n, c1, c2, c3, c4):
+    """d b_ij / d zeta (LAMMPS ters_bij_d), with the same branch guards."""
+    zeta = np.asarray(zeta)
+    tmp = beta * zeta
+    with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+        tmp_safe = np.maximum(tmp, 1.0e-300)
+        zeta_safe = np.maximum(zeta, 1.0e-300)
+        tmp_n = np.power(tmp_safe, n)
+        exact = -0.5 * np.power(1.0 + tmp_n, -1.0 - 1.0 / (2.0 * n)) * tmp_n / zeta_safe
+        large = beta * (-0.5 / (tmp_safe * np.sqrt(tmp_safe)))
+        large2 = beta * (
+            -0.5 / (tmp_safe * np.sqrt(tmp_safe)) * (1.0 - (1.0 + 0.5 / n) * np.power(tmp_safe, -n))
+        )
+        small2 = -0.5 * beta * np.power(tmp_safe, n - 1.0)
+    out = exact
+    out = np.where(tmp < c3, small2, out)
+    out = np.where(tmp < c4, 0.0, out)
+    out = np.where(tmp > c2, large2, out)
+    out = np.where(tmp > c1, large, out)
+    return out.astype(zeta.dtype, copy=False)
+
+
+def zeta_term(rij, rik, cos_theta, entry_or_fields):
+    """One zeta(i,j,k) contribution (Eq. 7) from scalar-ish inputs.
+
+    ``entry_or_fields`` is anything exposing attributes
+    ``R D gamma c d h lam3 m`` (a :class:`TersoffEntry` or a small
+    namespace of gathered arrays).
+    """
+    e = entry_or_fields
+    return f_c(rik, e.R, e.D) * g_angle(cos_theta, e.gamma, e.c, e.d, e.h) * zeta_exp(rij, rik, e.lam3, e.m)
+
+
+def repulsive_pair(r, entry):
+    """(energy, -dE/dr / r) of the repulsive half of V(i,j) with the 1/2
+    convention: E = 0.5 fC(r) fR(r).
+
+    Returns ``(evdwl, fpair)`` like LAMMPS ``repulsive()``: ``fpair``
+    is the force magnitude divided by r, to be multiplied by the
+    displacement vector.
+    """
+    e = entry
+    fc = f_c(r, e.R, e.D)
+    fc_d = f_c_d(r, e.R, e.D)
+    fr = f_r(r, e.A, e.lam1)
+    fr_d = f_r_d(r, e.A, e.lam1)
+    evdwl = 0.5 * fc * fr
+    # dE/dr = 0.5 (fc' fr + fc fr'); force-over-r on the pair
+    fpair = -0.5 * (fc_d * fr + fc * fr_d) / r
+    return evdwl, fpair
+
+
+def attractive_pair(r, bij, entry):
+    """(energy, fpair at fixed b, dE/dzeta prefactor) of the bonded half.
+
+    E = 0.5 fC(r) b fA(r); returns
+
+    - ``evdwl``      : the energy,
+    - ``fpair``      : -(dE/dr)|_b / r,
+    - ``prefactor``  : dE/dzeta = 0.5 fC fA b'(zeta) must be composed by
+      the caller (b' depends on zeta); here we return 0.5 fC fA, the
+      factor multiplying b'.
+    """
+    e = entry
+    fc = f_c(r, e.R, e.D)
+    fc_d = f_c_d(r, e.R, e.D)
+    fa = f_a(r, e.B, e.lam2)
+    fa_d = f_a_d(r, e.B, e.lam2)
+    evdwl = 0.5 * fc * bij * fa
+    fpair = -0.5 * bij * (fc_d * fa + fc * fa_d) / r
+    half_fc_fa = 0.5 * fc * fa
+    return evdwl, fpair, half_fc_fa

@@ -1,0 +1,226 @@
+"""Scalar-optimized Tersoff — Algorithm 3 (paper Sec. IV-A).
+
+Three scalar optimizations over :class:`TersoffReference`:
+
+1. **Pre-calculated derivatives**: ζ(i,j,k) and its derivatives share
+   almost all terms, so the first K loop computes both; ζ itself costs
+   "just one additional multiplication" on top of the derivative
+   evaluation.  The i/j derivative parts are accumulated; the k parts
+   must be *stored per k* in a scratch list of capacity ``kmax``.
+2. **kmax fallback**: if more than ``kmax`` in-cutoff k's appear, the
+   overflow k's are processed with the original recompute-in-second-
+   loop scheme, "thus maintaining complete generality".
+3. **Flat parameter lookup**: one flattened type-triple index into a
+   struct-of-arrays block instead of nested table indirection.
+
+The per-evaluation ``stats`` record how many ζ evaluations were saved
+and how often the fallback fired — inputs for the performance model and
+the kmax ablation bench.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tersoff.functional import (
+    attractive_pair,
+    b_order,
+    b_order_d,
+    f_c,
+    f_c_d,
+    g_angle,
+    g_angle_d,
+    repulsive_pair,
+    zeta_exp,
+    zeta_exp_d_over,
+)
+from repro.core.tersoff.parameters import TersoffParams
+from repro.md.atoms import AtomSystem
+from repro.md.neighbor import NeighborList
+from repro.md.potential import ForceResult, Potential
+
+
+class _Entry:
+    """Attribute view of one flat-parameter record (adjacent fields)."""
+
+    __slots__ = ("m", "gamma", "lam3", "c", "d", "h", "n", "beta", "lam2", "B", "R", "D",
+                 "lam1", "A", "cut", "cutsq", "c1", "c2", "c3", "c4")
+
+    def __init__(self, flat, idx: int):
+        for name in self.__slots__:
+            setattr(self, name, float(getattr(flat, name)[idx]))
+
+
+def zeta_and_dzeta(
+    dij: np.ndarray,
+    rij: float,
+    dik: np.ndarray,
+    rik: float,
+    entry,
+) -> tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+    """ζ(i,j,k) together with its three position derivatives.
+
+    The optimization of Sec. IV-A in function form: all the shared
+    sub-terms (fC, g, the exponential weight and their derivatives) are
+    evaluated once; ζ is one extra multiply.
+    """
+    e = entry
+    cos_theta = float(np.dot(dij, dik) / (rij * rik))
+    fc = float(f_c(rik, e.R, e.D))
+    fc_d = float(f_c_d(rik, e.R, e.D))
+    g = float(g_angle(cos_theta, e.gamma, e.c, e.d, e.h))
+    g_d = float(g_angle_d(cos_theta, e.gamma, e.c, e.d, e.h))
+    ex = float(zeta_exp(rij, rik, e.lam3, e.m))
+    ex_log_d = float(zeta_exp_d_over(rij, rik, e.lam3, e.m))
+
+    fc_g_ex = fc * g * ex  # shared product
+    zeta = fc_g_ex  # "one additional multiplication" (here: the product itself)
+
+    hat_ij = dij / rij
+    hat_ik = dik / rik
+    dcos_dj = hat_ik / rij - cos_theta * dij / (rij * rij)
+    dcos_dk = hat_ij / rik - cos_theta * dik / (rik * rik)
+
+    fc_gd_ex = fc * g_d * ex
+    dzeta_dj = (fc_g_ex * ex_log_d) * hat_ij + fc_gd_ex * dcos_dj
+    dzeta_dk = (fc_d * g * ex - fc_g_ex * ex_log_d) * hat_ik + fc_gd_ex * dcos_dk
+    dzeta_di = -(dzeta_dj + dzeta_dk)
+    return zeta, dzeta_di, dzeta_dj, dzeta_dk
+
+
+class TersoffOptimized(Potential):
+    """Algorithm 3: scalar-optimized, still loop-structured (``Opt`` scalar core).
+
+    Parameters
+    ----------
+    params:
+        The Tersoff parameterization.
+    kmax:
+        Scratch capacity for stored k-derivatives; the paper sizes this
+        to the expected neighbor count (4 for silicon).  Small values
+        exercise the fallback path.
+    """
+
+    needs_full_list = True
+
+    def __init__(self, params: TersoffParams, *, kmax: int = 8):
+        if kmax < 0:
+            raise ValueError("kmax must be non-negative")
+        self.params = params
+        self.kmax = int(kmax)
+        self.cutoff = params.max_cutoff
+        self._flat = params.flat()
+
+    def compute(self, system: AtomSystem, neigh: NeighborList) -> ForceResult:
+        self.check_list(neigh)
+        if system.species != self.params.species:
+            raise ValueError("system species do not match parameterization")
+        x = system.x
+        box = system.box
+        types = system.type
+        flat = self._flat
+        nt = flat.ntypes
+        n = system.n
+        forces = np.zeros((n, 3))
+        energy = 0.0
+        virial = 0.0
+        n_pairs = 0
+        zeta_evals = 0
+        fallback_ks = 0
+
+        scratch_k = np.empty(max(self.kmax, 1), dtype=np.int64)
+        scratch_kk = np.empty(max(self.kmax, 1), dtype=np.int64)
+        scratch_dzk = np.empty((max(self.kmax, 1), 3))
+
+        for i in range(n):
+            ti = int(types[i])
+            slist = neigh.neighbors_of(i)
+            dvecs = box.minimum_image(x[slist] - x[i])
+            dists = np.sqrt(np.einsum("ij,ij->i", dvecs, dvecs))
+            for jj in range(slist.shape[0]):
+                j = int(slist[jj])
+                tj = int(types[j])
+                pair = _Entry(flat, (ti * nt + tj) * nt + tj)
+                rij = float(dists[jj])
+                if rij > pair.cut:
+                    continue
+                dij = dvecs[jj]
+                n_pairs += 1
+
+                # --- single K loop: zeta AND derivatives ------------------
+                zeta = 0.0
+                dzi = np.zeros(3)
+                dzj = np.zeros(3)
+                stored = 0
+                overflow: list[int] = []
+                for kk in range(slist.shape[0]):
+                    if kk == jj:
+                        continue
+                    tk = int(types[int(slist[kk])])
+                    triple = _Entry(flat, (ti * nt + tj) * nt + tk)
+                    rik = float(dists[kk])
+                    if rik > triple.cut:
+                        continue
+                    if stored >= self.kmax:
+                        # fallback: original scheme for this k
+                        overflow.append(kk)
+                        cos_theta = float(np.dot(dij, dvecs[kk]) / (rij * rik))
+                        zeta += float(
+                            f_c(rik, triple.R, triple.D)
+                            * g_angle(cos_theta, triple.gamma, triple.c, triple.d, triple.h)
+                            * zeta_exp(rij, rik, triple.lam3, triple.m)
+                        )
+                        zeta_evals += 1
+                        continue
+                    z, di, dj_, dk = zeta_and_dzeta(dij, rij, dvecs[kk], rik, triple)
+                    zeta += z
+                    dzi += di
+                    dzj += dj_
+                    scratch_k[stored] = int(slist[kk])
+                    scratch_kk[stored] = kk
+                    scratch_dzk[stored] = dk
+                    stored += 1
+                    zeta_evals += 1
+
+                # --- pair terms --------------------------------------------
+                e_rep, f_rep = repulsive_pair(rij, pair)
+                bij = float(b_order(zeta, pair.beta, pair.n, pair.c1, pair.c2, pair.c3, pair.c4))
+                e_att, f_att, half_fc_fa = attractive_pair(rij, bij, pair)
+                fpair = float(f_rep + f_att)
+                energy += float(e_rep + e_att)
+                forces[i] -= fpair * dij
+                forces[j] += fpair * dij
+                virial += fpair * rij * rij
+
+                b_d = float(b_order_d(zeta, pair.beta, pair.n, pair.c1, pair.c2, pair.c3, pair.c4))
+                prefactor = float(half_fc_fa) * b_d
+
+                # --- apply stored derivatives (no recomputation) ------------
+                forces[i] -= prefactor * dzi
+                forces[j] -= prefactor * dzj
+                virial -= prefactor * float(np.dot(dij, dzj))
+                for s in range(stored):
+                    forces[scratch_k[s]] -= prefactor * scratch_dzk[s]
+                    virial -= prefactor * float(np.dot(dvecs[scratch_kk[s]], scratch_dzk[s]))
+
+                # --- fallback second loop for overflow ks -------------------
+                for kk in overflow:
+                    k = int(slist[kk])
+                    tk = int(types[k])
+                    triple = _Entry(flat, (ti * nt + tj) * nt + tk)
+                    rik = float(dists[kk])
+                    z, di, dj_, dk = zeta_and_dzeta(dij, rij, dvecs[kk], rik, triple)
+                    forces[i] -= prefactor * di
+                    forces[j] -= prefactor * dj_
+                    forces[k] -= prefactor * dk
+                    virial -= prefactor * (float(np.dot(dij, dj_)) + float(np.dot(dvecs[kk], dk)))
+                    zeta_evals += 1
+                    fallback_ks += 1
+
+        stats = {
+            "pairs_in_cutoff": n_pairs,
+            "zeta_evaluations": zeta_evals,
+            "fallback_ks": fallback_ks,
+            "list_entries": neigh.n_pairs,
+        }
+        return ForceResult(energy=energy, forces=forces, virial=virial, stats=stats)

@@ -1,0 +1,175 @@
+"""Reference Tersoff implementation — Algorithm 2, as shipped in LAMMPS.
+
+This is the paper's ``Ref`` execution mode: double precision, the
+original triple-loop structure, the high-indirection nested parameter
+lookup, and — crucially — ζ(i,j,k) evaluated **twice** per (i,j,k)
+triple (once to accumulate ζ_ij, once to obtain its derivatives in the
+force loop).  The scalar optimizations of Sec. IV-A exist precisely to
+remove that redundancy; keeping it here preserves the baseline the
+paper measures speedups against.
+
+Pure Python loops: use small systems.  Numerics are validated against
+finite differences and serve as the oracle for every optimized path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tersoff.functional import (
+    attractive_pair,
+    b_order,
+    b_order_d,
+    f_c,
+    f_c_d,
+    g_angle,
+    g_angle_d,
+    repulsive_pair,
+    zeta_exp,
+    zeta_exp_d_over,
+    zeta_term,
+)
+from repro.core.tersoff.parameters import TersoffEntry, TersoffParams
+from repro.md.atoms import AtomSystem
+from repro.md.neighbor import NeighborList
+from repro.md.potential import ForceResult, Potential
+
+
+def _dzeta(
+    dij: np.ndarray,
+    rij: float,
+    dik: np.ndarray,
+    rik: float,
+    entry: TersoffEntry,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(d zeta/d x_i, d x_j, d x_k) for one triple (LAMMPS ters_zetaterm_d).
+
+    ``dij = x_j - x_i`` and ``dik = x_k - x_i`` are minimum-image
+    displacement vectors.
+    """
+    e = entry
+    cos_theta = float(np.dot(dij, dik) / (rij * rik))
+    fc = f_c(rik, e.R, e.D)
+    fc_d = f_c_d(rik, e.R, e.D)
+    g = g_angle(cos_theta, e.gamma, e.c, e.d, e.h)
+    g_d = g_angle_d(cos_theta, e.gamma, e.c, e.d, e.h)
+    ex = zeta_exp(rij, rik, e.lam3, e.m)
+    ex_log_d = zeta_exp_d_over(rij, rik, e.lam3, e.m)  # dE/drij / E
+
+    hat_ij = dij / rij
+    hat_ik = dik / rik
+    dcos_dj = hat_ik / rij - cos_theta * dij / (rij * rij)
+    dcos_dk = hat_ij / rik - cos_theta * dik / (rik * rik)
+
+    dzeta_dj = (fc * g * ex * ex_log_d) * hat_ij + (fc * g_d * ex) * dcos_dj
+    dzeta_dk = (fc_d * g * ex - fc * g * ex * ex_log_d) * hat_ik + (fc * g_d * ex) * dcos_dk
+    dzeta_di = -(dzeta_dj + dzeta_dk)
+    return dzeta_di, dzeta_dj, dzeta_dk
+
+
+class TersoffReference(Potential):
+    """Algorithm 2: the LAMMPS-shipped evaluation, double precision.
+
+    Parameters
+    ----------
+    params:
+        A :class:`~repro.core.tersoff.parameters.TersoffParams` whose
+        species match the systems this potential will see.
+    """
+
+    needs_full_list = True
+
+    def __init__(self, params: TersoffParams):
+        self.params = params
+        self.cutoff = params.max_cutoff
+
+    def compute(self, system: AtomSystem, neigh: NeighborList) -> ForceResult:
+        self.check_list(neigh)
+        if system.species != self.params.species:
+            raise ValueError(
+                f"system species {system.species} do not match parameterization {self.params.species}"
+            )
+        x = system.x
+        box = system.box
+        types = system.type
+        params = self.params
+        n = system.n
+        forces = np.zeros((n, 3))
+        energy = 0.0
+        virial = 0.0
+        n_pairs = 0
+        n_triples = 0
+        zeta_evals = 0
+
+        for i in range(n):
+            ti = int(types[i])
+            slist = neigh.neighbors_of(i)
+            # displacement vectors to every list entry (skin included)
+            dvecs = box.minimum_image(x[slist] - x[i])
+            dists = np.sqrt(np.einsum("ij,ij->i", dvecs, dvecs))
+            for jj in range(slist.shape[0]):
+                j = int(slist[jj])
+                tj = int(types[j])
+                pair = params.entry(ti, tj, tj)  # nested lookup on purpose
+                rij = float(dists[jj])
+                if rij > pair.cut:
+                    continue  # skin atom: skipped only *after* the distance test
+                dij = dvecs[jj]
+                n_pairs += 1
+
+                # --- first K loop: accumulate zeta_ij --------------------
+                zeta = 0.0
+                for kk in range(slist.shape[0]):
+                    if kk == jj:
+                        continue
+                    k = int(slist[kk])
+                    tk = int(types[k])
+                    triple = params.entry(ti, tj, tk)
+                    rik = float(dists[kk])
+                    if rik > triple.cut:
+                        continue
+                    cos_theta = float(np.dot(dij, dvecs[kk]) / (rij * rik))
+                    zeta += float(zeta_term(rij, rik, cos_theta, triple))
+                    zeta_evals += 1
+
+                # --- pair terms -------------------------------------------
+                e_rep, f_rep = repulsive_pair(rij, pair)
+                bij = float(b_order(zeta, pair.beta, pair.n, pair.c1, pair.c2, pair.c3, pair.c4))
+                e_att, f_att, half_fc_fa = attractive_pair(rij, bij, pair)
+                fpair = float(f_rep + f_att)
+                energy += float(e_rep + e_att)
+                forces[i] -= fpair * dij
+                forces[j] += fpair * dij
+                virial += fpair * rij * rij
+
+                # dV/dzeta
+                b_d = float(b_order_d(zeta, pair.beta, pair.n, pair.c1, pair.c2, pair.c3, pair.c4))
+                prefactor = float(half_fc_fa) * b_d
+
+                # --- second K loop: zeta derivatives (recomputed!) --------
+                for kk in range(slist.shape[0]):
+                    if kk == jj:
+                        continue
+                    k = int(slist[kk])
+                    tk = int(types[k])
+                    triple = params.entry(ti, tj, tk)
+                    rik = float(dists[kk])
+                    if rik > triple.cut:
+                        continue
+                    dzi, dzj, dzk = _dzeta(dij, rij, dvecs[kk], rik, triple)
+                    forces[i] -= prefactor * dzi
+                    forces[j] -= prefactor * dzj
+                    forces[k] -= prefactor * dzk
+                    virial -= prefactor * (
+                        float(np.dot(dij, dzj)) + float(np.dot(dvecs[kk], dzk))
+                    )
+                    n_triples += 1
+                    zeta_evals += 1
+
+        stats = {
+            "pairs_in_cutoff": n_pairs,
+            "triples_in_cutoff": n_triples,
+            "zeta_evaluations": zeta_evals,
+            "list_entries": neigh.n_pairs,
+        }
+        return ForceResult(energy=energy, forces=forces, virial=virial, stats=stats)

@@ -1,0 +1,86 @@
+"""Lane-state traces of the K loop — the actual Fig. 2 diagram.
+
+The paper visualizes mask status during the K-loop iteration: green =
+ready-to-compute, red = not-ready (spinning), blue = actual
+calculation.  The lane simulator can record exactly that: one frame per
+iteration for a chosen vector register, one cell per lane.
+
+Cell codes:
+
+====  ==================================================
+``C``  kernel computed for this lane (Fig. 2 blue)
+``r``  lane ready, idling while others fast-forward (green)
+``.``  lane spinning through invalid entries (red)
+``x``  lane exhausted (list consumed) or padding
+====  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+COMPUTE = "C"
+READY = "r"
+SPIN = "."
+DONE = "x"
+
+
+@dataclass
+class KLoopTrace:
+    """Recorded lane states: one string of lane codes per iteration."""
+
+    width: int
+    frames: list[str] = field(default_factory=list)
+
+    def add_frame(self, codes: str) -> None:
+        if len(codes) != self.width:
+            raise ValueError(f"frame has {len(codes)} lanes, expected {self.width}")
+        self.frames.append(codes)
+
+    @property
+    def kernel_invocations(self) -> int:
+        return sum(1 for f in self.frames if COMPUTE in f)
+
+    @property
+    def compute_occupancy(self) -> float:
+        """Active-lane fraction of compute frames (Fig. 2's point)."""
+        lanes = sum(f.count(COMPUTE) for f in self.frames)
+        frames = self.kernel_invocations
+        return lanes / (frames * self.width) if frames else 1.0
+
+    def render(self, *, title: str = "") -> str:
+        """Time runs downward, lanes across — the Fig. 2 layout."""
+        head = f"lanes 0..{self.width - 1}" + (f" — {title}" if title else "")
+        ruler = "".join(str(i % 10) for i in range(self.width))
+        lines = [head, f"      {ruler}", f"      {'-' * self.width}"]
+        for t, frame in enumerate(self.frames):
+            lines.append(f"t={t:<3d} |{frame}|")
+        lines.append(
+            f"kernel invocations: {self.kernel_invocations}, "
+            f"compute occupancy: {self.compute_occupancy:.2f}"
+        )
+        return "\n".join(lines)
+
+
+def frame_from_masks(
+    *,
+    computed: np.ndarray | None,
+    ready: np.ndarray,
+    exhausted: np.ndarray,
+    valid: np.ndarray,
+) -> str:
+    """Encode one register's lane state into a frame string."""
+    w = valid.shape[-1]
+    out = []
+    for lane in range(w):
+        if not valid[lane] or exhausted[lane] and not (ready[lane] or (computed is not None and computed[lane])):
+            out.append(DONE)
+        elif computed is not None and computed[lane]:
+            out.append(COMPUTE)
+        elif ready[lane]:
+            out.append(READY)
+        else:
+            out.append(SPIN)
+    return "".join(out)

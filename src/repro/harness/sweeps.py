@@ -1,0 +1,131 @@
+"""Parameter sweeps beyond the paper's figures (extension studies).
+
+- :func:`skin_sweep` — the Sec. III tradeoff quantified: a larger skin
+  rebuilds the neighbor list less often but feeds more skin atoms into
+  the vector kernels (more fast-forward spinning, lower naive
+  occupancy, more filter work).
+- :func:`width_sweep` — how the scheme-(1b) kernel responds to vector
+  width at fixed workload (the amortization question of Sec. IV-B).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tersoff.parameters import tersoff_si
+from repro.core.tersoff.production import TersoffProduction
+from repro.core.tersoff.vectorized import TersoffVectorized
+from repro.harness.reporting import ExperimentResult
+from repro.md.lattice import diamond_lattice, seeded_velocities
+from repro.md.neighbor import NeighborSettings
+from repro.md.simulation import Simulation
+from repro.vector.isa import ISA_REGISTRY
+
+
+def skin_sweep(
+    skins=(0.3, 0.6, 1.0, 1.5, 2.0),
+    *,
+    cells: tuple[int, int, int] = (3, 3, 3),
+    steps: int = 120,
+    temperature: float = 1000.0,
+) -> ExperimentResult:
+    """MD runs at several skin distances: rebuilds vs kernel waste."""
+    params = tersoff_si()
+    rows = []
+    for skin in skins:
+        system = diamond_lattice(*cells)
+        seeded_velocities(system, temperature, seed=99)
+        sim = Simulation(
+            system, TersoffProduction(params),
+            neighbor=NeighborSettings(cutoff=params.max_cutoff, skin=skin),
+        )
+        run = sim.run(steps)
+        # kernel-side effect of the skin: measured on the lane backend
+        vec = TersoffVectorized(params, isa="imci", scheme="1b", filter_neighbors=False)
+        res = vec.compute(sim.system, sim.neigh)
+        rows.append({
+            "skin": skin,
+            "rebuilds": run.neighbor_builds,
+            "list_entries_per_atom": round(sim.neigh.n_pairs / system.n, 2),
+            "filter_efficiency": round(res.stats["filter_efficiency"], 3),
+            "spin_iterations": res.stats["spin_iterations"],
+            "kernel_cycles": round(res.stats["cycles"]),
+        })
+    return ExperimentResult(
+        exp_id="sweep-skin",
+        title="Skin distance: rebuild frequency vs skin-atom waste (Sec. III)",
+        rows=rows,
+        notes=f"{int(np.prod(cells)) * 8} atoms, {steps} steps at {temperature:.0f} K",
+    )
+
+
+def width_sweep(*, cells: tuple[int, int, int] = (3, 3, 3)) -> ExperimentResult:
+    """Scheme (1b) across every ISA's single-precision width."""
+    from repro.md.lattice import perturbed
+    from repro.md.neighbor import NeighborList
+
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(*cells), 0.1, seed=12)
+    neigh_settings = NeighborSettings(cutoff=params.max_cutoff, skin=1.0)
+    neigh = NeighborList(neigh_settings)
+    neigh.build(system.x, system.box)
+    rows = []
+    for name, isa in sorted(ISA_REGISTRY.items(), key=lambda kv: kv[1].width_single):
+        if isa.width_single < 2:
+            continue
+        pot = TersoffVectorized(params, isa=name, precision="single", scheme="1b")
+        res = pot.compute(system, neigh)
+        rows.append({
+            "isa": name,
+            "W": res.stats["width"],
+            "cycles_per_atom": round(res.stats["cycles"] / system.n, 1),
+            "utilization": round(res.stats["utilization"], 3),
+            "kernel_invocations": res.stats["kernel_invocations"],
+        })
+    return ExperimentResult(
+        exp_id="sweep-width",
+        title="Scheme (1b) vs vector width (single precision)",
+        rows=rows,
+    )
+
+
+def weak_scaling(
+    node_counts=(1, 2, 4, 8),
+    *,
+    atoms_per_node: int = 250_000,
+    machine_name: str = "IV+2KNC",
+) -> ExperimentResult:
+    """Weak scaling: fixed atoms/node (extension beyond the paper's Fig. 9).
+
+    Under the halo model, per-rank communication is constant when the
+    per-rank volume is fixed, so weak-scaling efficiency should stay
+    near 1 with only the allreduce's log(P) growth.
+    """
+    from repro.harness.experiments import kernel_profile
+    from repro.parallel.cluster import ClusterSpec, DistributedRun
+    from repro.perf.machines import get_machine
+
+    machine = get_machine(machine_name)
+    profile = kernel_profile("Opt-D", machine.isa)
+    rows = []
+    base_rate = None
+    for nodes in node_counts:
+        run = DistributedRun(ClusterSpec(machine, n_nodes=nodes), halo=4.0)
+        st = run.step_time(profile, atoms_per_node * nodes)
+        rate = atoms_per_node * nodes / st.total  # atom-steps per second
+        if base_rate is None:
+            base_rate = rate / nodes
+        rows.append({
+            "nodes": nodes,
+            "atoms": atoms_per_node * nodes,
+            "step_ms": round(st.total * 1e3, 3),
+            "atom_steps_per_s": round(rate),
+            "efficiency": round(rate / (base_rate * nodes), 4),
+            "comm%": round(100 * st.comm_fraction, 2),
+        })
+    return ExperimentResult(
+        exp_id="sweep-weak-scaling",
+        title=f"Weak scaling, {atoms_per_node} atoms/node on {machine_name}",
+        rows=rows,
+        notes="extension study (the paper's Fig. 9 is strong scaling)",
+    )

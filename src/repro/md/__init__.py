@@ -1,0 +1,50 @@
+"""MD substrate: the LAMMPS-like simulation engine the paper builds upon.
+
+The paper (Sec. II) assumes a molecular-dynamics code that provides atoms,
+periodic boxes, skin-extended Verlet neighbor lists, velocity-Verlet time
+integration and per-stage timers.  LAMMPS provides those in C++; this
+package provides them from scratch in numpy.
+
+Public surface
+--------------
+- :mod:`repro.md.units` — LAMMPS "metal" unit system and constants.
+- :mod:`repro.md.box` — periodic orthogonal simulation box.
+- :mod:`repro.md.lattice` — crystal builders (diamond-cubic silicon, ...).
+- :mod:`repro.md.atoms` — structure-of-arrays atom storage.
+- :mod:`repro.md.neighbor` — binned Verlet neighbor lists with skin.
+- :mod:`repro.md.integrate` — NVE / Langevin integrators.
+- :mod:`repro.md.thermo` — temperature, kinetic energy, virial pressure.
+- :mod:`repro.md.pair_lj` — Lennard-Jones baseline pair potential (Alg. 1).
+- :mod:`repro.md.simulation` — the timestep driver with LAMMPS-style timers.
+"""
+
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.lattice import (
+    bcc_lattice,
+    diamond_lattice,
+    fcc_lattice,
+    sc_lattice,
+    seeded_velocities,
+)
+from repro.md.neighbor import NeighborList, NeighborSettings
+from repro.md.pair_lj import LennardJones
+from repro.md.simulation import Simulation, StageTimers
+from repro.md.thermo import kinetic_energy, temperature
+
+__all__ = [
+    "AtomSystem",
+    "Box",
+    "LennardJones",
+    "NeighborList",
+    "NeighborSettings",
+    "Simulation",
+    "StageTimers",
+    "bcc_lattice",
+    "diamond_lattice",
+    "fcc_lattice",
+    "sc_lattice",
+    "seeded_velocities",
+    "kinetic_energy",
+    "temperature",
+]

@@ -1,0 +1,142 @@
+"""Structure-of-arrays atom storage.
+
+LAMMPS stores per-atom data in parallel arrays (``x``, ``v``, ``f``,
+``type`` ...).  The USER-INTEL package the paper builds on additionally
+packs and aligns that data for vector access; in numpy the analogue is
+contiguous, explicitly-typed arrays, which is what :class:`AtomSystem`
+guarantees.
+
+Type indices are 0-based internally (LAMMPS is 1-based in input files;
+the parameter reader handles the shift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.md.box import Box
+from repro.md.units import BOLTZMANN, MVV2E
+
+
+@dataclass
+class AtomSystem:
+    """All per-atom state of a simulation.
+
+    Attributes
+    ----------
+    box:
+        The periodic simulation box.
+    x:
+        Positions, shape ``(n, 3)``, float64, wrapped into the box.
+    v:
+        Velocities, shape ``(n, 3)``, float64, A/ps.
+    f:
+        Forces, shape ``(n, 3)``, float64, eV/A.
+    type:
+        Atom type indices, shape ``(n,)``, int32, 0-based.
+    mass:
+        Per-type masses, shape ``(ntypes,)``, g/mol.
+    species:
+        Per-type element symbols (parameter lookup key).
+    """
+
+    box: Box
+    x: np.ndarray
+    v: np.ndarray = None  # type: ignore[assignment]
+    f: np.ndarray = None  # type: ignore[assignment]
+    type: np.ndarray = None  # type: ignore[assignment]
+    mass: np.ndarray = None  # type: ignore[assignment]
+    species: tuple[str, ...] = ("Si",)
+    tag: np.ndarray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.x = np.ascontiguousarray(self.x, dtype=np.float64)
+        if self.x.ndim != 2 or self.x.shape[1] != 3:
+            raise ValueError(f"positions must be (n, 3), got {self.x.shape}")
+        n = self.x.shape[0]
+        if self.v is None:
+            self.v = np.zeros((n, 3))
+        if self.f is None:
+            self.f = np.zeros((n, 3))
+        if self.type is None:
+            self.type = np.zeros(n, dtype=np.int32)
+        if self.mass is None:
+            self.mass = np.full(len(self.species), 28.0855)
+        if self.tag is None:
+            self.tag = np.arange(n, dtype=np.int64)
+        self.v = np.ascontiguousarray(self.v, dtype=np.float64)
+        self.f = np.ascontiguousarray(self.f, dtype=np.float64)
+        self.type = np.ascontiguousarray(self.type, dtype=np.int32)
+        self.mass = np.ascontiguousarray(self.mass, dtype=np.float64)
+        self.tag = np.ascontiguousarray(self.tag, dtype=np.int64)
+        if self.v.shape != (n, 3) or self.f.shape != (n, 3):
+            raise ValueError("velocity/force arrays must match positions")
+        if self.type.shape != (n,):
+            raise ValueError("type array must be (n,)")
+        if len(self.species) != len(self.mass):
+            raise ValueError("species and mass must have equal length")
+        if n and (self.type.min() < 0 or self.type.max() >= len(self.species)):
+            raise ValueError("type index out of range for species table")
+
+    @property
+    def n(self) -> int:
+        """Number of atoms."""
+        return self.x.shape[0]
+
+    @property
+    def ntypes(self) -> int:
+        return len(self.species)
+
+    def per_atom_mass(self) -> np.ndarray:
+        """Mass of every atom, shape ``(n,)``."""
+        return self.mass[self.type]
+
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy in eV."""
+        m = self.per_atom_mass()
+        return float(0.5 * MVV2E * np.sum(m * np.sum(self.v * self.v, axis=1)))
+
+    def temperature(self) -> float:
+        """Instantaneous temperature in K (3N - 3 degrees of freedom)."""
+        dof = max(3 * self.n - 3, 1)
+        return 2.0 * self.kinetic_energy() / (dof * BOLTZMANN)
+
+    def zero_momentum(self) -> None:
+        """Remove centre-of-mass drift from the velocities."""
+        m = self.per_atom_mass()[:, None]
+        total = float(np.sum(m))
+        if total > 0.0:
+            self.v -= np.sum(m * self.v, axis=0) / total
+
+    def wrap(self) -> None:
+        """Wrap all positions back into the primary cell."""
+        self.box.wrap_inplace(self.x)
+
+    def copy(self) -> "AtomSystem":
+        """Deep copy (box objects are immutable and shared)."""
+        return AtomSystem(
+            box=self.box,
+            x=self.x.copy(),
+            v=self.v.copy(),
+            f=self.f.copy(),
+            type=self.type.copy(),
+            mass=self.mass.copy(),
+            species=self.species,
+            tag=self.tag.copy(),
+        )
+
+    def select(self, mask: np.ndarray) -> "AtomSystem":
+        """A new system containing only atoms where `mask` is true."""
+        mask = np.asarray(mask, dtype=bool)
+        return AtomSystem(
+            box=self.box,
+            x=self.x[mask],
+            v=self.v[mask],
+            f=self.f[mask],
+            type=self.type[mask],
+            mass=self.mass.copy(),
+            species=self.species,
+            tag=self.tag[mask],
+        )

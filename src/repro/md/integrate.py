@@ -1,0 +1,136 @@
+"""Time integrators: velocity-Verlet NVE, Langevin, velocity rescale.
+
+The paper's timings "include all other stages, such as communication,
+data transfer, neighbor list construction, and time integration"
+(Sec. VI, Timing Methodology); the integrator is therefore part of the
+measured substrate, not just scaffolding.
+
+All integrators mutate the :class:`~repro.md.atoms.AtomSystem` in
+place and leave force evaluation to the caller (the
+:class:`~repro.md.simulation.Simulation` driver), mirroring LAMMPS'
+``initial_integrate`` / ``final_integrate`` split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.md.atoms import AtomSystem
+from repro.md.units import BOLTZMANN, FTM2V, MVV2E
+
+
+class VelocityVerlet:
+    """NVE velocity-Verlet, the integrator of the paper's benchmarks.
+
+    Split into the two half-kicks around the force evaluation::
+
+        v(t+dt/2) = v(t) + (dt/2) f(t)/m        # initial_integrate
+        x(t+dt)   = x(t) + dt v(t+dt/2)
+        ... compute f(t+dt) ...
+        v(t+dt)   = v(t+dt/2) + (dt/2) f(t+dt)/m  # final_integrate
+    """
+
+    def __init__(self, dt: float):
+        if dt <= 0.0:
+            raise ValueError("timestep must be positive")
+        self.dt = float(dt)
+
+    def initial_integrate(self, system: AtomSystem) -> None:
+        inv_m = 1.0 / system.per_atom_mass()[:, None]
+        system.v += (0.5 * self.dt * FTM2V) * system.f * inv_m
+        system.x += self.dt * system.v
+        system.wrap()
+
+    def final_integrate(self, system: AtomSystem) -> None:
+        inv_m = 1.0 / system.per_atom_mass()[:, None]
+        system.v += (0.5 * self.dt * FTM2V) * system.f * inv_m
+
+
+class Langevin:
+    """Langevin thermostat force modifier (LAMMPS ``fix langevin``).
+
+    Adds a friction and a stochastic kick to the forces *before* the
+    final half-kick; used by the melt example to heat/cool systems.
+    """
+
+    def __init__(self, temperature: float, damping: float, dt: float, seed: int = 2016):
+        if temperature < 0.0:
+            raise ValueError("temperature must be non-negative")
+        if damping <= 0.0:
+            raise ValueError("damping time must be positive")
+        self.temperature = float(temperature)
+        self.damping = float(damping)
+        self.dt = float(dt)
+        self.rng = np.random.default_rng(seed)
+
+    def apply(self, system: AtomSystem) -> None:
+        """Add friction + random forces to ``system.f`` in place."""
+        m = system.per_atom_mass()[:, None]
+        gamma = m * MVV2E / self.damping
+        # friction: -gamma v ; stochastic: sqrt(2 kB T gamma / dt) N(0,1)
+        system.f -= gamma * system.v
+        sigma = np.sqrt(2.0 * BOLTZMANN * self.temperature * gamma / self.dt)
+        system.f += sigma * self.rng.normal(size=system.v.shape)
+
+
+class NoseHoover:
+    """Nosé-Hoover chain thermostat (length 1), LAMMPS ``fix nvt`` style.
+
+    Velocity-scaling update of the thermostat degree of freedom with the
+    half-step operator splitting; deterministic (unlike Langevin) and
+    produces canonical sampling for ergodic systems.
+    """
+
+    def __init__(self, temperature: float, damping: float, dt: float):
+        if temperature <= 0.0:
+            raise ValueError("Nose-Hoover needs a positive target temperature")
+        if damping <= 0.0:
+            raise ValueError("damping time must be positive")
+        self.temperature = float(temperature)
+        self.damping = float(damping)
+        self.dt = float(dt)
+        self.xi = 0.0  # thermostat velocity (1/ps)
+
+    def half_step(self, system: AtomSystem) -> None:
+        """Advance xi half a step and rescale velocities.
+
+        Call once before ``initial_integrate`` and once after
+        ``final_integrate`` (the Simulation driver handles this when a
+        NoseHoover instance is installed as the thermostat).
+        """
+        dof = max(3 * system.n - 3, 1)
+        ke = system.kinetic_energy()
+        t_current = 2.0 * ke / (dof * BOLTZMANN)
+        q_inv = 1.0 / (self.damping * self.damping)
+        self.xi += 0.5 * self.dt * q_inv * (t_current / self.temperature - 1.0)
+        scale = float(np.exp(-self.xi * self.dt * 0.5))
+        system.v *= scale
+
+    def energy(self, system: AtomSystem) -> float:
+        """The thermostat's conserved-quantity contribution (eV).
+
+        H' = H + (dof kB T / 2) (xi tau)^2 * ... — reported so runs can
+        monitor the extended-system conserved quantity.
+        """
+        dof = max(3 * system.n - 3, 1)
+        q = dof * BOLTZMANN * self.temperature * self.damping * self.damping
+        return 0.5 * q * self.xi * self.xi
+
+
+class VelocityRescale:
+    """Crude but deterministic thermostat: rescale to a target T."""
+
+    def __init__(self, temperature: float, every: int = 10):
+        if temperature < 0.0:
+            raise ValueError("temperature must be non-negative")
+        if every < 1:
+            raise ValueError("rescale interval must be >= 1")
+        self.temperature = float(temperature)
+        self.every = int(every)
+
+    def maybe_rescale(self, system: AtomSystem, step: int) -> None:
+        if step % self.every:
+            return
+        current = system.temperature()
+        if current > 0.0:
+            system.v *= np.sqrt(self.temperature / current)

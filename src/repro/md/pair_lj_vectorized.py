@@ -1,0 +1,136 @@
+"""Vectorized Lennard-Jones — the pair-potential contrast case.
+
+The paper's related work (miniMD, Gromacs' kernels) establishes that
+pair potentials vectorize straightforwardly with scheme (1a): the J
+loop maps onto lanes, there is no K loop, no bond-order coupling, no
+conflict writes beyond the j-scatter.  This module implements exactly
+that on the lane backend so the repository can *measure* the contrast
+the paper draws in Sec. I-III: compare its utilization/cycle statistics
+with :class:`~repro.core.tersoff.vectorized.TersoffVectorized` on the
+same workload (see ``benchmarks/bench_multibody_family.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tersoff.kernels import charge
+from repro.core.tersoff.prepare import group_by_i
+from repro.md.atoms import AtomSystem
+from repro.md.neighbor import NeighborList
+from repro.md.potential import ForceResult, Potential
+from repro.vector.backend import VectorBackend
+from repro.vector.isa import ISA, get_isa
+from repro.vector.precision import Precision
+
+# per-lane vector ops of one LJ interaction (r2 -> energy+force)
+RECIPE_LJ = {"arith": 11, "divide": 1, "blend": 1}
+
+
+class LennardJonesVectorized(Potential):
+    """Cut/shifted 12-6 LJ via scheme (1a) on a simulated vector ISA.
+
+    Single-type only (the contrast experiment does not need mixing).
+    """
+
+    needs_full_list = True
+
+    def __init__(
+        self,
+        epsilon: float,
+        sigma: float,
+        cutoff: float,
+        *,
+        shift: bool = True,
+        isa: ISA | str = "avx2",
+        precision: Precision | str = Precision.DOUBLE,
+    ):
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        self.epsilon = float(epsilon)
+        self.sigma = float(sigma)
+        self.cutoff = float(cutoff)
+        self.shift = bool(shift)
+        self.isa = get_isa(isa) if isinstance(isa, str) else isa
+        self.precision = Precision.parse(precision)
+        self.backend = VectorBackend(self.isa, self.precision)
+        sr6 = (self.sigma / self.cutoff) ** 6
+        self._e_cut = 4.0 * self.epsilon * (sr6 * sr6 - sr6) if shift else 0.0
+
+    def compute(self, system: AtomSystem, neigh: NeighborList) -> ForceResult:
+        self.check_list(neigh)
+        bk = self.backend
+        bk.reset_counter()
+        cd = bk.compute_dtype
+        W = bk.width
+        n = system.n
+
+        i_idx, j_idx = neigh.pairs()
+        d = system.box.minimum_image(system.x[j_idx] - system.x[i_idx])
+        r2_all = np.einsum("ij,ij->i", d, d)
+
+        # scheme (1a): rows = atoms (blocks), lanes = their list entries;
+        # pair potentials traditionally do NOT pre-filter (the mask is
+        # cheap and lists are long), so the skin mask runs in-register.
+        starts, counts = group_by_i(i_idx, n)
+        nblocks = (counts + W - 1) // W
+        row_atom = np.repeat(np.arange(n, dtype=np.int64), nblocks)
+        C = row_atom.shape[0]
+        forces = np.zeros((n, 3))
+        if C == 0:
+            return ForceResult(energy=0.0, forces=forces, virial=0.0, stats=self._stats(bk, 0))
+        row_first = np.concatenate(([0], np.cumsum(nblocks)[:-1]))
+        block_in_atom = np.arange(C, dtype=np.int64) - np.repeat(row_first, nblocks)
+        lane = np.arange(W, dtype=np.int64)[None, :]
+        slot = starts[row_atom][:, None] + block_in_atom[:, None] * W + lane
+        valid = slot < (starts[row_atom] + counts[row_atom])[:, None]
+        idx = np.where(valid, slot, 0)
+
+        r2 = np.where(valid, r2_all[idx], 1.0e30).astype(cd)
+        within = bk.cmp_le(r2, self.cutoff * self.cutoff)
+        mask = valid & np.asarray(within)
+
+        with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
+            inv_r2 = 1.0 / r2
+            sr2 = (self.sigma * self.sigma) * inv_r2
+            sr6 = sr2 * sr2 * sr2
+            sr12 = sr6 * sr6
+            e_pair = 4.0 * self.epsilon * (sr12 - sr6) - self._e_cut
+            f_over_r = 24.0 * self.epsilon * (2.0 * sr12 - sr6) * inv_r2
+        charge(bk, RECIPE_LJ, C, mask=mask, masked=True)
+        bk.counter.record_kernel_invocation(C)
+
+        e_pair = np.where(mask, e_pair, 0.0)
+        f_over_r = np.where(mask, f_over_r, 0.0).astype(np.float64)
+        energy = 0.5 * float(np.sum(bk.reduce_add(e_pair.astype(cd), mask)))
+
+        dvec = np.where(valid[..., None], d[idx], 0.0)
+        fvec = f_over_r[..., None] * dvec
+        # full-list Newton-off convention (miniMD-style): every ordered
+        # pair updates only its center atom i — an in-register reduction
+        # and one scalar store, with no scatter at all.  This is why the
+        # paper calls pair potentials the *easy* case.
+        fi_rows = np.zeros((C, 3))
+        for axis in range(3):
+            fi_rows[:, axis] = bk.reduce_add(fvec[..., axis].astype(cd), mask)
+        np.add.at(forces, row_atom, -fi_rows)
+        bk.counter.record("store", C, bk.isa.costs.store)
+
+        virial = 0.5 * float(np.sum(f_over_r * np.einsum("...i,...i->...", dvec, dvec)))
+        return ForceResult(energy=energy, forces=forces, virial=virial, stats=self._stats(bk, int(np.count_nonzero(mask))))
+
+    def _stats(self, bk: VectorBackend, n_pairs: int) -> dict:
+        st = bk.stats()
+        return {
+            "isa": self.isa.name,
+            "scheme": "1a",
+            "width": bk.width,
+            "pairs_in_cutoff": n_pairs,
+            "cycles": st.cycles,
+            "instructions": st.instructions,
+            "utilization": st.utilization,
+            "kernel_invocations": st.kernel_invocations,
+            "spin_iterations": st.spin_iterations,
+            "by_category": dict(st.by_category),
+            "kernel_stats": st,
+        }

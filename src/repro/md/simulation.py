@@ -1,0 +1,190 @@
+"""The timestep driver with LAMMPS-style per-stage timers.
+
+Reproduces the measurement contract of the paper's Sec. VI ("Timing
+Methodology"): the run loop accounts time to *pair* (force kernel),
+*neighbor* (list builds), *integrate* and — when running under the
+simulated domain decomposition — *comm*, excluding initialisation and
+cleanup.  The ``ns/day`` metric of Figs. 4-9 is derived from these
+timers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.md.atoms import AtomSystem
+from repro.md.integrate import Langevin, NoseHoover, VelocityRescale, VelocityVerlet
+from repro.md.neighbor import NeighborList, NeighborSettings
+from repro.md.potential import ForceResult, Potential
+from repro.md.thermo import ThermoSample, sample
+from repro.md.units import DEFAULT_TIMESTEP_PS, ns_per_day
+
+
+@dataclass
+class StageTimers:
+    """Wall-clock seconds per simulation stage (LAMMPS MPI-timer analogue)."""
+
+    pair: float = 0.0
+    neighbor: float = 0.0
+    integrate: float = 0.0
+    comm: float = 0.0
+    other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.pair + self.neighbor + self.integrate + self.comm + self.other
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "pair": self.pair,
+            "neighbor": self.neighbor,
+            "integrate": self.integrate,
+            "comm": self.comm,
+            "other": self.other,
+            "total": self.total,
+        }
+
+    def breakdown(self) -> str:
+        tot = self.total or 1.0
+        parts = ", ".join(
+            f"{k} {v:.3f}s ({100.0 * v / tot:.1f}%)" for k, v in self.as_dict().items() if k != "total"
+        )
+        return f"total {self.total:.3f}s: {parts}"
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Simulation.run`."""
+
+    steps: int
+    timers: StageTimers
+    thermo: list[ThermoSample] = field(default_factory=list)
+    neighbor_builds: int = 0
+
+    def ns_per_day(self, dt_ps: float) -> float:
+        if self.timers.total <= 0.0 or self.steps == 0:
+            return float("inf")
+        return ns_per_day(dt_ps, self.steps / self.timers.total)
+
+
+class Simulation:
+    """Single-domain MD simulation: potential + neighbor list + integrator.
+
+    Parameters
+    ----------
+    system:
+        The atom system; mutated in place as the run advances.
+    potential:
+        Any :class:`~repro.md.potential.Potential`.
+    neighbor:
+        Neighbor settings; ``cutoff`` defaults to the potential's.
+    dt:
+        Timestep in ps (default: the 1 fs metal-units standard).
+    thermostat:
+        Optional :class:`Langevin` or :class:`VelocityRescale`.
+    """
+
+    def __init__(
+        self,
+        system: AtomSystem,
+        potential: Potential,
+        *,
+        neighbor: NeighborSettings | None = None,
+        dt: float = DEFAULT_TIMESTEP_PS,
+        thermostat: Langevin | NoseHoover | VelocityRescale | None = None,
+    ):
+        self.system = system
+        self.potential = potential
+        if neighbor is None:
+            neighbor = NeighborSettings(cutoff=potential.cutoff, full=potential.needs_full_list)
+        if neighbor.cutoff < potential.cutoff:
+            raise ValueError(
+                f"neighbor cutoff {neighbor.cutoff} below potential cutoff {potential.cutoff}"
+            )
+        self.neigh = NeighborList(neighbor)
+        self.integrator = VelocityVerlet(dt)
+        self.thermostat = thermostat
+        self.step_index = 0
+        self.timers = StageTimers()
+        self.last_result: ForceResult | None = None
+
+    @property
+    def dt(self) -> float:
+        return self.integrator.dt
+
+    def compute_forces(self) -> ForceResult:
+        """Evaluate the potential into ``system.f`` (timed as *pair*)."""
+        t0 = time.perf_counter()
+        rebuilt = self.neigh.ensure(self.system.x, self.system.box)
+        t1 = time.perf_counter()
+        self.timers.neighbor += t1 - t0
+        result = self.potential.compute(self.system, self.neigh)
+        self.system.f[:] = result.forces
+        self.timers.pair += time.perf_counter() - t1
+        self.last_result = result
+        del rebuilt
+        return result
+
+    def run(
+        self,
+        steps: int,
+        *,
+        thermo_every: int = 0,
+        callback=None,
+    ) -> RunResult:
+        """Advance `steps` timesteps of velocity Verlet.
+
+        Parameters
+        ----------
+        thermo_every:
+            Collect a :class:`ThermoSample` every this many steps
+            (0 = only at start/end).
+        callback:
+            Optional ``callback(sim, step)`` invoked after each step.
+        """
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        if self.last_result is None:
+            self.compute_forces()
+        thermo: list[ThermoSample] = []
+
+        def collect() -> None:
+            assert self.last_result is not None
+            thermo.append(
+                sample(self.system, self.step_index, self.step_index * self.dt, self.last_result.energy)
+            )
+
+        collect()
+        builds_before = self.neigh.n_builds
+        for _ in range(steps):
+            t0 = time.perf_counter()
+            if isinstance(self.thermostat, NoseHoover):
+                self.thermostat.half_step(self.system)
+            self.integrator.initial_integrate(self.system)
+            self.timers.integrate += time.perf_counter() - t0
+            self.compute_forces()
+            t0 = time.perf_counter()
+            if isinstance(self.thermostat, Langevin):
+                self.thermostat.apply(self.system)
+            self.integrator.final_integrate(self.system)
+            if isinstance(self.thermostat, VelocityRescale):
+                self.thermostat.maybe_rescale(self.system, self.step_index)
+            if isinstance(self.thermostat, NoseHoover):
+                self.thermostat.half_step(self.system)
+            self.timers.integrate += time.perf_counter() - t0
+            self.step_index += 1
+            if thermo_every and self.step_index % thermo_every == 0:
+                collect()
+            if callback is not None:
+                callback(self, self.step_index)
+        if not thermo_every or self.step_index % thermo_every:
+            collect()
+        return RunResult(
+            steps=steps,
+            timers=self.timers,
+            thermo=thermo,
+            neighbor_builds=self.neigh.n_builds - builds_before,
+        )

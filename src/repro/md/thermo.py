@@ -1,0 +1,83 @@
+"""Thermodynamic observables: kinetic energy, temperature, pressure.
+
+These mirror LAMMPS' ``compute ke``, ``compute temp`` and
+``compute pressure`` in metal units, and are what the validation
+experiment (paper Fig. 3) monitors over long runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.atoms import AtomSystem
+from repro.md.units import BOLTZMANN, MVV2E, NKTV2P
+
+
+def kinetic_energy(system: AtomSystem) -> float:
+    """Total kinetic energy in eV."""
+    return system.kinetic_energy()
+
+
+def temperature(system: AtomSystem) -> float:
+    """Instantaneous temperature in K."""
+    return system.temperature()
+
+
+def pressure(system: AtomSystem, virial: np.ndarray | float) -> float:
+    """Scalar virial pressure in bar.
+
+    Parameters
+    ----------
+    virial:
+        Either the scalar ``sum_i r_i . f_i`` contribution or the full
+        3x3 virial tensor as accumulated by the potentials.
+    """
+    v = np.asarray(virial, dtype=np.float64)
+    w = float(np.trace(v)) if v.ndim == 2 else float(v)
+    ke_term = 2.0 * system.kinetic_energy()
+    return (ke_term + w) / (3.0 * system.box.volume) * NKTV2P
+
+
+@dataclass
+class ThermoSample:
+    """One row of thermodynamic output."""
+
+    step: int
+    time_ps: float
+    temperature: float
+    e_kinetic: float
+    e_potential: float
+    e_total: float
+
+    def format_row(self) -> str:
+        return (
+            f"{self.step:>10d} {self.time_ps:>12.4f} {self.temperature:>10.2f} "
+            f"{self.e_kinetic:>14.6f} {self.e_potential:>16.6f} {self.e_total:>16.6f}"
+        )
+
+    @staticmethod
+    def format_header() -> str:
+        return (
+            f"{'Step':>10} {'Time/ps':>12} {'Temp/K':>10} "
+            f"{'KinEng/eV':>14} {'PotEng/eV':>16} {'TotEng/eV':>16}"
+        )
+
+
+def sample(system: AtomSystem, step: int, time_ps: float, e_potential: float) -> ThermoSample:
+    """Collect a :class:`ThermoSample` from the current state."""
+    ke = system.kinetic_energy()
+    return ThermoSample(
+        step=step,
+        time_ps=time_ps,
+        temperature=2.0 * ke / (max(3 * system.n - 3, 1) * BOLTZMANN),
+        e_kinetic=ke,
+        e_potential=float(e_potential),
+        e_total=ke + float(e_potential),
+    )
+
+
+def maxwell_sigma(mass: np.ndarray, temp: float) -> np.ndarray:
+    """Per-atom Maxwell-Boltzmann velocity std-dev (A/ps)."""
+    return np.sqrt(BOLTZMANN * temp / (np.asarray(mass) * MVV2E))

@@ -1,0 +1,35 @@
+"""Simulated MPI: domain decomposition, halo exchange, network models.
+
+The paper uses "vanilla LAMMPS' MPI-based domain decomposition scheme"
+(Sec. V-C) and evaluates up to 8 Xeon-Phi-augmented nodes (Fig. 9).
+This package substitutes real MPI with a *sequential-SPMD* execution:
+every rank's computation runs in one process against its own owned +
+ghost atom sets, messages are byte-accurate, and a latency/bandwidth
+network model converts traffic into modelled communication time.
+
+Numerical fidelity is testable: the distributed force computation must
+reproduce the single-domain forces exactly (see
+``tests/test_decomposition.py``).
+"""
+
+from repro.parallel.comm import (
+    CommRecord,
+    NetworkModel,
+    INFINIBAND_FDR,
+    INTRA_NODE,
+    PCIE_GEN2,
+)
+from repro.parallel.decomposition import DomainDecomposition, RankDomain
+from repro.parallel.cluster import ClusterSpec, DistributedRun
+
+__all__ = [
+    "ClusterSpec",
+    "CommRecord",
+    "DistributedRun",
+    "DomainDecomposition",
+    "INFINIBAND_FDR",
+    "INTRA_NODE",
+    "NetworkModel",
+    "PCIE_GEN2",
+    "RankDomain",
+]

@@ -1,0 +1,149 @@
+"""Modeled multi-node runs: the Fig. 8/9 cluster and hybrid executions.
+
+Combines the per-ISA kernel profiles (measured on the lane-faithful
+backend), the machine registry, the halo-traffic model and the offload
+model into a per-timestep makespan for a cluster of nodes — the
+quantity behind the paper's strong-scaling study on SuperMIC
+(Fig. 9: 1-8 nodes, two Xeon Phi per node, 2M atoms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.parallel.comm import INFINIBAND_FDR, INTRA_NODE, NetworkModel
+from repro.parallel.decomposition import FORWARD_BYTES_PER_ATOM, REVERSE_BYTES_PER_ATOM
+from repro.perf.machines import Machine
+from repro.perf.model import KernelProfile, PerformanceModel, StepTime, halo_atoms_estimate
+from repro.perf.offload import OffloadModel, balanced_split
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of `n_nodes` machines."""
+
+    machine: Machine
+    n_nodes: int = 1
+    ranks_per_node: int | None = None  # default: one rank per core
+    accelerators_per_node: int = 0  # of machine.accelerators
+    interconnect: NetworkModel = INFINIBAND_FDR
+    intra_node: NetworkModel = INTRA_NODE
+    #: fraction of a rank's 6 halo faces crossing the node boundary
+    inter_face_fraction: float = 1.0 / 3.0
+    #: spatial load imbalance of the decomposition (max/mean owned atoms)
+    imbalance: float = 1.1
+
+    @property
+    def ranks(self) -> int:
+        per_node = self.ranks_per_node if self.ranks_per_node is not None else self.machine.cores
+        return self.n_nodes * per_node
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise ValueError("need at least one node")
+        if self.accelerators_per_node > len(self.machine.accelerators):
+            raise ValueError(
+                f"{self.machine.name} has only {len(self.machine.accelerators)} accelerators"
+            )
+
+
+class DistributedRun:
+    """Per-timestep model of a domain-decomposed run on a cluster."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        *,
+        halo: float = 4.0,  # Tersoff max cutoff (3.0) + skin (1.0)
+        offload: OffloadModel | None = None,
+        model: PerformanceModel | None = None,
+    ):
+        self.spec = spec
+        self.halo = float(halo)
+        self.offload = offload if offload is not None else OffloadModel()
+        self.model = model if model is not None else PerformanceModel(spec.machine)
+
+    # -- communication -----------------------------------------------------------
+
+    def comm_time(self, natoms: int) -> float:
+        """Seconds of halo traffic per step for the busiest rank.
+
+        LAMMPS exchanges halos in three staged dimensions (two
+        messages each); forward every step plus reverse for the ghost
+        forces.  Faces crossing the node boundary pay interconnect
+        latency/bandwidth, the rest shared memory.
+        """
+        spec = self.spec
+        per_rank = natoms / spec.ranks
+        ghosts = halo_atoms_estimate(per_rank, self.halo)
+        ranks_per_node = spec.ranks // spec.n_nodes
+        # all ranks of a node exchange simultaneously: the shared-memory
+        # fabric's bandwidth (and the NIC's) is divided among them
+        intra = NetworkModel(
+            spec.intra_node.name,
+            spec.intra_node.latency_s,
+            spec.intra_node.bandwidth_Bps / max(ranks_per_node, 1),
+        )
+        inter = NetworkModel(
+            spec.interconnect.name,
+            spec.interconnect.latency_s,
+            spec.interconnect.bandwidth_Bps / max(ranks_per_node, 1),
+        )
+        t = 0.0
+        for bytes_per_atom in (FORWARD_BYTES_PER_ATOM, REVERSE_BYTES_PER_ATOM):
+            face_bytes = ghosts * bytes_per_atom / 6.0
+            inter_faces = 6.0 * spec.inter_face_fraction if spec.n_nodes > 1 else 0.0
+            intra_faces = 6.0 - inter_faces
+            t += intra_faces * intra.message_time(face_bytes)
+            t += inter_faces * inter.message_time(face_bytes)
+        # global thermo reduction
+        t += spec.interconnect.allreduce_time(64, spec.ranks)
+        return t
+
+    # -- per-step makespan ----------------------------------------------------------
+
+    def step_time(
+        self,
+        profile_host: KernelProfile,
+        natoms: int,
+        *,
+        profile_device: KernelProfile | None = None,
+    ) -> StepTime:
+        """Makespan of one timestep across the cluster.
+
+        With ``profile_device`` and accelerators in the spec, the force
+        work of each node is split between host cores and cards so both
+        finish together (Fig. 8's hybrid mode); otherwise the host does
+        everything.
+        """
+        spec = self.spec
+        model = self.model
+        n_node = natoms / spec.n_nodes
+        comm_s = self.comm_time(natoms)
+
+        n_acc = spec.accelerators_per_node
+        if n_acc and profile_device is not None:
+            acc = spec.machine.accelerators[0]
+            t_host_atom = model.force_time(profile_host, 1_000_000) / 1_000_000
+            t_dev_atom = model.force_time(profile_device, 1_000_000, accelerator=acc) / 1_000_000 / n_acc
+            t_pcie_atom = self.offload.transfer_time(1_000_000) / 1_000_000 / n_acc
+            frac, force_s = balanced_split(t_host_atom, t_dev_atom, t_pcie_atom, int(n_node))
+            offload_s = t_pcie_atom * frac * n_node
+            force_s = max(force_s - offload_s, 0.0)
+            host_atoms = int(n_node)
+            st = StepTime(
+                force=force_s * spec.imbalance,
+                neighbor=model.neighbor_time(host_atoms),
+                integrate=model.integrate_time(host_atoms),
+                comm=comm_s,
+                offload=offload_s,
+                breakdown={"device_fraction": frac, "nodes": spec.n_nodes},
+            )
+            return st
+        st = model.step_time(profile_host, int(n_node), comm_s=comm_s)
+        st.force *= spec.imbalance
+        st.breakdown["nodes"] = spec.n_nodes
+        return st
+
+    def ns_per_day(self, profile_host: KernelProfile, natoms: int, *, profile_device=None, dt_ps: float = 0.001) -> float:
+        return self.step_time(profile_host, natoms, profile_device=profile_device).ns_per_day(dt_ps)

@@ -1,0 +1,46 @@
+"""Fabric models (alpha-beta latency/bandwidth) shared by the
+communication and offload layers.
+
+Lives in :mod:`repro.perf` so both :mod:`repro.parallel` (halo traffic)
+and :mod:`repro.perf.offload` (PCIe) can use it without an import
+cycle; :mod:`repro.parallel.comm` re-exports the public names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Alpha-beta message timing."""
+
+    name: str
+    latency_s: float
+    bandwidth_Bps: float
+
+    def message_time(self, nbytes: float) -> float:
+        """Seconds to move one message of `nbytes`."""
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+    def allreduce_time(self, nbytes: float, n_ranks: int) -> float:
+        """Tree allreduce: log2(P) rounds of one message each."""
+        if n_ranks <= 1:
+            return 0.0
+        rounds = max(1, (n_ranks - 1).bit_length())
+        return rounds * self.message_time(nbytes)
+
+
+#: Shared-memory MPI inside one node.  Effective bandwidth includes the
+#: pack/unpack passes of the halo buffers (~3 memory touches), so it is
+#: well below raw DRAM bandwidth; latency includes MPI software
+#: overhead per message.
+INTRA_NODE = NetworkModel("intra-node", latency_s=2.0e-6, bandwidth_Bps=6.0e9)
+
+#: FDR InfiniBand (SuperMIC, the Fig. 9 cluster).
+INFINIBAND_FDR = NetworkModel("infiniband-fdr", latency_s=1.5e-6, bandwidth_Bps=6.0e9)
+
+#: PCIe 2.0 x16 (KNC 5110P and Kepler offload traffic).
+PCIE_GEN2 = NetworkModel("pcie-gen2", latency_s=10.0e-6, bandwidth_Bps=6.0e9)

@@ -1,0 +1,62 @@
+"""Offload modelling: PCIe traffic and host/device load balancing.
+
+The Xeon Phi (KNC) and GPU results of Figs. 6-9 run the force kernel
+on an accelerator behind PCIe.  Per timestep the host ships positions
+down and receives forces back (the USER-INTEL offload protocol the
+paper builds on, Sec. V-C); in the hybrid runs of Fig. 8 the workload
+is split so host and device finish together ("Like in a real
+simulation, the workload is shared among CPU and accelerator").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.network import NetworkModel, PCIE_GEN2
+
+
+@dataclass(frozen=True)
+class OffloadModel:
+    """Per-step PCIe transfer cost for an offloaded force kernel."""
+
+    network: NetworkModel = PCIE_GEN2
+    bytes_down_per_atom: int = 3 * 4 + 4  # packed single-precision positions + type
+    bytes_up_per_atom: int = 3 * 4  # forces back
+    messages_per_step: int = 2  # one down, one up
+
+    def transfer_time(self, natoms: int) -> float:
+        """Seconds of PCIe traffic for one step of `natoms` device atoms."""
+        if natoms <= 0:
+            return 0.0
+        down = self.network.message_time(natoms * self.bytes_down_per_atom)
+        up = self.network.message_time(natoms * self.bytes_up_per_atom)
+        return down + up
+
+
+def balanced_split(
+    host_s_per_atom: float,
+    device_s_per_atom: float,
+    pcie_s_per_atom: float,
+    natoms: int,
+    *,
+    fixed_latency_s: float = 2 * PCIE_GEN2.latency_s,
+) -> tuple[float, float]:
+    """Optimal device fraction and resulting force-stage time.
+
+    Host computes ``(1-f) N`` atoms while the device computes ``f N``
+    plus its PCIe traffic (overlapped with nothing).  The balance point
+    is ``f* = t_h / (t_h + t_d + t_p)``; the returned time is the
+    makespan at that split.
+
+    Returns ``(fraction_on_device, seconds)``.
+    """
+    if natoms <= 0:
+        return 0.0, 0.0
+    if host_s_per_atom <= 0.0:
+        # no host involvement: everything on the device
+        return 1.0, (device_s_per_atom + pcie_s_per_atom) * natoms + fixed_latency_s
+    t_h = host_s_per_atom
+    t_d = device_s_per_atom + pcie_s_per_atom
+    frac = t_h / (t_h + t_d)
+    makespan = max(t_h * (1.0 - frac) * natoms, t_d * frac * natoms + fixed_latency_s)
+    return frac, makespan

@@ -1,0 +1,80 @@
+"""Kernel profile reports: where do the modeled cycles go?
+
+Turns the per-category instruction counts of a
+:class:`~repro.vector.cost.KernelStats` into the kind of breakdown the
+paper's authors used to decide what to optimize next (gathers on
+pre-AVX2 parts, conflict scatters on IMCI, spinning without list
+filtering...).
+"""
+
+from __future__ import annotations
+
+from repro.vector.cost import KernelStats
+from repro.vector.isa import ISA, get_isa
+
+# cycle cost per category, mirroring the backend's charging rules
+_CATEGORY_COST = {
+    "arith": lambda isa: isa.costs.arith,
+    "compare": lambda isa: isa.costs.arith,
+    "divide": lambda isa: isa.costs.divide,
+    "sqrt": lambda isa: isa.costs.sqrt,
+    "exp": lambda isa: isa.costs.exp,
+    "trig": lambda isa: isa.costs.trig,
+    "blend": lambda isa: isa.costs.blend,
+    "load": lambda isa: isa.costs.load,
+    "store": lambda isa: isa.costs.store,
+    "int_op": lambda isa: isa.costs.int_op,
+    "gather": lambda isa: isa.costs.gather,
+    "gather_int": lambda isa: max(isa.costs.gather, isa.costs.int_op),
+    "gather_emulated": lambda isa: isa.costs.gather_emulated,
+    "adjacent_gather": lambda isa: isa.costs.adjacent_gather,
+    "scatter": lambda isa: isa.costs.store + isa.costs.load,
+    "scatter_conflict": lambda isa: None,  # width-dependent; shown by share
+    "reduction": lambda isa: isa.costs.reduction,
+    "horizontal": lambda isa: isa.costs.horizontal,
+}
+
+
+def cycle_breakdown(stats: KernelStats, isa: ISA | str, *, width: int) -> dict[str, float]:
+    """Approximate cycles per category (sums to ~stats.cycles)."""
+    isa = get_isa(isa) if isinstance(isa, str) else isa
+    out: dict[str, float] = {}
+    for category, count in stats.by_category.items():
+        cost_fn = _CATEGORY_COST.get(category)
+        if cost_fn is None:
+            continue
+        per = cost_fn(isa)
+        if per is None:  # conflict scatters: use the ISA rule
+            per = isa.scatter_conflict_cost(width)
+        out[category] = per * count
+    return out
+
+
+def render_profile(stats: KernelStats, isa: ISA | str, *, width: int, label: str = "") -> str:
+    """Human-readable cycle profile, hottest category first."""
+    isa_obj = get_isa(isa) if isinstance(isa, str) else isa
+    breakdown = cycle_breakdown(stats, isa_obj, width=width)
+    total = sum(breakdown.values()) or 1.0
+    lines = [f"cycle profile{' — ' + label if label else ''} "
+             f"(isa={isa_obj.name}, W={width}, util={stats.utilization:.3f})"]
+    for category, cycles in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * cycles / total
+        bar = "#" * int(round(share / 2))
+        lines.append(f"  {category:<16s} {cycles:>12.0f} cy  {share:5.1f}%  {bar}")
+    lines.append(f"  {'(accounted)':<16s} {total:>12.0f} cy of {stats.cycles:.0f} modeled")
+    if stats.spin_iterations:
+        lines.append(f"  spin iterations: {stats.spin_iterations}, "
+                     f"kernel invocations: {stats.kernel_invocations}")
+    return "\n".join(lines)
+
+
+def compare_profiles(entries: list[tuple[str, KernelStats, str, int]]) -> str:
+    """Side-by-side totals for several (label, stats, isa, width) runs."""
+    lines = [f"  {'label':<28s} {'cycles':>12s} {'instr':>10s} {'util':>6s} {'kinv':>8s} {'spin':>8s}"]
+    for label, stats, isa, width in entries:
+        del isa, width
+        lines.append(
+            f"  {label:<28s} {stats.cycles:>12.0f} {stats.instructions:>10d} "
+            f"{stats.utilization:>6.3f} {stats.kernel_invocations:>8d} {stats.spin_iterations:>8d}"
+        )
+    return "\n".join(lines)

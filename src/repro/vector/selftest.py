@@ -1,0 +1,124 @@
+"""Backend conformance suite: verify a (possibly new) ISA back-end.
+
+The paper's workflow for a new architecture is "implement the building
+blocks once, keep the algorithm" (Sec. V-B).  This module is the
+acceptance gate for that workflow: :func:`verify_backend` runs a
+battery of semantic checks on the four building blocks and the core
+ops, so a contributed back-end is validated before any physics runs on
+it.  The test suite applies it to every registered ISA.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vector.backend import VectorBackend
+from repro.vector.isa import ISA, get_isa
+from repro.vector.precision import Precision
+
+
+class BackendConformanceError(AssertionError):
+    """A backend violated the vector-abstraction contract."""
+
+
+def _check(cond: bool, message: str) -> None:
+    if not cond:
+        raise BackendConformanceError(message)
+
+
+def verify_backend(isa: ISA | str, precision: Precision | str = Precision.DOUBLE) -> dict:
+    """Run the conformance battery; returns a summary dict on success.
+
+    Raises :class:`BackendConformanceError` on the first violation.
+    """
+    bk = VectorBackend(isa, precision)
+    W = bk.width
+    rng = np.random.default_rng(12345)
+    C = 3
+
+    # -- widths and dtypes ---------------------------------------------------
+    _check(W >= 1, "vector width must be >= 1")
+    _check(bk.compute_dtype in (np.dtype(np.float32), np.dtype(np.float64)),
+           "compute dtype must be float32/float64")
+
+    a = bk.c(rng.normal(size=(C, W)))
+    b = bk.c(rng.normal(size=(C, W)) + 3.0)
+
+    # -- arithmetic semantics ---------------------------------------------------
+    _check(np.allclose(bk.add(a, b), a + b), "add mismatch")
+    _check(np.allclose(bk.mul(a, b), a * b), "mul mismatch")
+    _check(np.allclose(bk.fma(a, b, a), a * b + a, atol=1e-6), "fma mismatch")
+    _check(np.allclose(bk.div(a, b), a / b, atol=1e-6), "div mismatch")
+    _check(np.allclose(bk.sqrt(bk.c(np.abs(a))), np.sqrt(np.abs(a)), atol=1e-6), "sqrt mismatch")
+    _check(np.allclose(bk.exp(bk.c(a * 0.1)), np.exp(a * 0.1), atol=1e-5), "exp mismatch")
+
+    # -- masked merge semantics ---------------------------------------------------
+    mask = rng.random((C, W)) > 0.5
+    out = bk.add(a, b, mask=mask)
+    _check(np.allclose(np.where(mask, a + b, a), out), "masked add must merge into src1")
+
+    # -- building block 1: vector-wide conditionals -------------------------------
+    m_all = np.ones((C, W), dtype=bool)
+    m_mixed = m_all.copy()
+    if W > 1:
+        m_mixed[0, 0] = False
+    else:
+        m_mixed[0, :] = False
+    _check(bool(np.all(bk.all_lanes(m_all))), "all_lanes(all-true) failed")
+    _check(not bool(bk.all_lanes(m_mixed)[0]), "all_lanes missed a false lane")
+    _check(bool(bk.any_lanes(m_mixed)[1 % C]), "any_lanes failed")
+
+    # -- building block 2: in-register reductions -----------------------------------
+    red = bk.reduce_add(a)
+    _check(np.allclose(red, a.sum(axis=-1), atol=1e-5), "reduce_add mismatch")
+    red_m = bk.reduce_add(a, mask)
+    _check(np.allclose(red_m, np.where(mask, a, 0).sum(axis=-1), atol=1e-5),
+           "masked reduce_add mismatch")
+    _check(red.dtype == bk.accum_dtype, "reduction must land in the accumulate dtype")
+
+    # -- building block 3: conflict write handling ------------------------------------
+    target = np.zeros(4)
+    idx = np.zeros((C, W), dtype=np.int64)  # maximal conflict: all lanes hit 0
+    bk.scatter_add_conflict(target, idx, np.ones((C, W)))
+    _check(target[0] == C * W, "conflict scatter lost colliding lanes")
+    target2 = np.zeros(C * W)
+    distinct = np.arange(C * W).reshape(C, W)
+    bk.scatter_add_distinct(target2, distinct, np.ones((C, W)))
+    _check(np.all(target2 == 1.0), "distinct scatter mismatch")
+
+    # -- building block 4: gathers ---------------------------------------------------
+    table = rng.normal(size=17)
+    gidx = rng.integers(0, 17, size=(C, W))
+    g = bk.gather(table, gidx)
+    _check(np.allclose(g, table[gidx], atol=1e-6), "gather mismatch")
+    g_adj = bk.gather(table, gidx, adjacent=True)
+    _check(np.allclose(g_adj, table[gidx], atol=1e-6), "adjacent gather mismatch")
+    g_masked = bk.gather(table, gidx, mask=mask, fill=7.5)
+    _check(np.allclose(np.where(mask, table[gidx], 7.5), g_masked, atol=1e-5),
+           "masked gather fill mismatch")
+
+    # -- accounting sanity --------------------------------------------------------------
+    st = bk.stats()
+    _check(st.instructions > 0, "no instructions recorded")
+    _check(st.cycles > 0, "no cycles recorded")
+    _check(0.0 <= st.utilization <= 1.0, "utilization out of range")
+    bk.reset_counter()
+    _check(bk.stats().instructions == 0, "reset_counter failed")
+
+    return {
+        "isa": bk.isa.name,
+        "precision": bk.precision.value,
+        "width": W,
+        "checks": "passed",
+    }
+
+
+def verify_all(precisions=("double", "single", "mixed")) -> list[dict]:
+    """Conformance across every registered ISA and precision."""
+    from repro.vector.isa import list_isas
+
+    results = []
+    for name in list_isas():
+        for precision in precisions:
+            results.append(verify_backend(get_isa(name), precision))
+    return results

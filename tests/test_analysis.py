@@ -1,0 +1,111 @@
+"""Structural/dynamical analysis observables."""
+
+import numpy as np
+import pytest
+
+from repro.md.analysis import (
+    TrajectoryAnalyzer,
+    coordination_histogram,
+    coordination_numbers,
+    radial_distribution,
+)
+from repro.md.lattice import diamond_lattice, seeded_velocities
+from repro.md.neighbor import NeighborSettings
+from repro.md.pair_lj import LennardJones
+from repro.md.simulation import Simulation
+
+
+class TestRDF:
+    def test_first_peak_at_bond_length(self):
+        """Crystalline Si: the first non-zero RDF shell sits at the bond
+        length a*sqrt(3)/4 = 2.35 A, the second at a/sqrt(2) = 3.84 A."""
+        s = diamond_lattice(3, 3, 3)
+        r, g = radial_distribution(s, bins=160)
+        first = r[np.nonzero(g > 0)[0][0]]
+        assert first == pytest.approx(2.35, abs=0.1)
+        shells = r[np.nonzero(g > 0)[0]]
+        assert np.any(np.abs(shells - 3.84) < 0.1)
+
+    def test_no_pairs_below_bond_length(self):
+        s = diamond_lattice(3, 3, 3)
+        r, g = radial_distribution(s, bins=160)
+        assert np.all(g[r < 2.0] == 0.0)
+
+    def test_ideal_gas_flat(self):
+        """Random uniform points: g(r) ~ 1 away from r=0."""
+        from repro.md.atoms import AtomSystem
+        from repro.md.box import Box
+
+        rng = np.random.default_rng(0)
+        s = AtomSystem(box=Box.cubic(20.0), x=rng.uniform(0, 20, size=(800, 3)))
+        r, g = radial_distribution(s, bins=40)
+        tail = g[r > 3.0]
+        assert 0.8 < float(np.mean(tail)) < 1.2
+
+    def test_rejects_bad_args(self):
+        s = diamond_lattice(2, 2, 2)
+        with pytest.raises(ValueError):
+            radial_distribution(s, r_max=-1.0)
+
+
+class TestCoordination:
+    def test_crystal_is_four(self):
+        s = diamond_lattice(3, 3, 3)
+        assert np.all(coordination_numbers(s, 2.7) == 4)
+        hist = coordination_histogram(s, 2.7)
+        assert hist == {4: s.n}
+
+
+class TestTrajectoryAnalyzer:
+    def _run(self, temp, steps=60, every=5):
+        s = diamond_lattice(2, 2, 2)
+        seeded_velocities(s, temp, seed=4)
+        sim = Simulation(s, LennardJones(0.02, 2.3, cutoff=4.2, shift=True),
+                         neighbor=NeighborSettings(cutoff=4.2, skin=0.8, full=False))
+        analyzer = TrajectoryAnalyzer(sim.system)
+        analyzer.record(sim.system, 0.0)
+        sim.run(steps, callback=analyzer.callback(every=every))
+        return analyzer
+
+    def test_msd_starts_at_zero_and_grows(self):
+        a = self._run(800.0)
+        assert a.msd[0] == 0.0
+        assert a.msd[-1] > 0.0
+
+    def test_msd_zero_for_frozen_system(self):
+        a = self._run(0.0)
+        assert max(a.msd) < 1e-20
+
+    def test_vacf_starts_at_one(self):
+        a = self._run(500.0)
+        assert a.vacf[0] == pytest.approx(1.0)
+
+    def test_unwrapping_across_boundary(self):
+        """An atom drifting through the periodic wall accumulates true
+        displacement, not the wrapped jump."""
+        from repro.md.atoms import AtomSystem
+        from repro.md.box import Box
+
+        s = AtomSystem(box=Box.cubic(10.0), x=np.array([[9.5, 5.0, 5.0]]))
+        a = TrajectoryAnalyzer(s)
+        # move across the boundary in small steps
+        for k in range(1, 8):
+            s.x[0, 0] = (9.5 + 0.2 * k) % 10.0
+            a.record(s, 0.001 * k)
+        assert a.msd[-1] == pytest.approx((0.2 * 7) ** 2, rel=1e-10)
+
+    def test_diffusion_coefficient_positive_for_hot(self):
+        a = self._run(2000.0, steps=120, every=5)
+        assert a.diffusion_coefficient() > 0.0
+
+    def test_diffusion_needs_samples(self):
+        s = diamond_lattice(1, 1, 1)
+        a = TrajectoryAnalyzer(s)
+        a.record(s, 0.0)
+        with pytest.raises(ValueError):
+            a.diffusion_coefficient()
+
+    def test_callback_interval_validated(self):
+        s = diamond_lattice(1, 1, 1)
+        with pytest.raises(ValueError):
+            TrajectoryAnalyzer(s).callback(every=0)

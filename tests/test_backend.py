@@ -1,0 +1,189 @@
+"""VectorBackend: arithmetic semantics, the four building blocks,
+masking, precision, and instruction accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.vector.backend import VectorBackend
+from repro.vector.precision import Precision
+
+
+@pytest.fixture
+def bk():
+    return VectorBackend("imci", "double")  # W=8, free masking
+
+
+class TestArithmetic:
+    def test_add_counts(self, bk):
+        a = bk.c(np.ones((3, 8)))
+        out = bk.add(a, a)
+        assert np.all(out == 2.0)
+        assert bk.counter.by_category["arith"] == 3
+
+    def test_fma(self, bk):
+        a = bk.c(np.full((2, 8), 2.0))
+        out = bk.fma(a, a, a)  # 2*2+2
+        assert np.all(out == 6.0)
+        assert bk.counter.by_category["arith"] == 2
+
+    def test_masked_merge_semantics(self, bk):
+        """Masked binary ops keep the first operand in masked-off lanes
+        (merge masking with dest = src1, as on IMCI/AVX-512)."""
+        a = bk.c(np.arange(8.0).reshape(1, 8))
+        b = bk.c(np.ones((1, 8)))
+        m = np.array([[True, False] * 4])
+        out = bk.add(a, b, mask=m)
+        expected = np.where(m, a + 1.0, a)
+        assert np.allclose(out, expected)
+
+    def test_div_masked_lanes_safe(self, bk):
+        a = bk.c(np.ones((1, 8)))
+        b = bk.c(np.zeros((1, 8)))
+        m = np.zeros((1, 8), dtype=bool)
+        with np.errstate(divide="raise"):
+            out = bk.div(a, b, mask=m)  # all lanes masked: no FP trap
+        assert np.all(out == 1.0)
+
+    def test_sqrt_exp_sin(self, bk):
+        a = bk.c(np.full((1, 8), 4.0))
+        assert np.allclose(bk.sqrt(a), 2.0)
+        assert np.allclose(bk.exp(bk.c(np.zeros((1, 8)))), 1.0)
+        assert np.allclose(bk.sin(bk.c(np.zeros((1, 8)))), 0.0)
+        assert bk.counter.by_category["sqrt"] == 1
+        assert bk.counter.by_category["exp"] == 1
+        assert bk.counter.by_category["trig"] == 1
+
+    def test_rows_active_limits_count(self, bk):
+        a = bk.c(np.ones((10, 8)))
+        bk.mul(a, a, rows_active=4)
+        assert bk.counter.by_category["arith"] == 4
+
+
+class TestBuildingBlocks:
+    def test_vector_wide_conditional(self, bk):
+        m = np.array([[True] * 8, [True] * 7 + [False]])
+        assert bk.all_lanes(m).tolist() == [True, False]
+        assert bk.any_lanes(m).tolist() == [True, True]
+        assert bk.counter.by_category["horizontal"] == 4
+
+    def test_in_register_reduction(self, bk):
+        v = bk.c(np.arange(16.0).reshape(2, 8))
+        s = bk.reduce_add(v)
+        assert np.allclose(s, [28.0, 92.0])
+        assert s.dtype == np.float64
+
+    def test_reduction_masked(self, bk):
+        v = bk.c(np.ones((1, 8)))
+        m = np.array([[True, True, False, False, True, False, False, False]])
+        assert bk.reduce_add(v, m)[0] == 3.0
+
+    def test_conflict_scatter_collisions(self, bk):
+        tgt = np.zeros(3)
+        idx = np.array([[0, 0, 0, 1, 1, 2, 2, 2]])
+        bk.scatter_add_conflict(tgt, idx, np.ones((1, 8)))
+        assert tgt.tolist() == [3.0, 2.0, 3.0]
+
+    def test_conflict_scatter_masked(self, bk):
+        tgt = np.zeros(2)
+        idx = np.zeros((1, 8), dtype=np.int64)
+        m = np.array([[True] * 4 + [False] * 4])
+        bk.scatter_add_conflict(tgt, idx, np.ones((1, 8)), m)
+        assert tgt[0] == 4.0
+
+    def test_distinct_scatter_cheaper_than_conflict(self):
+        a = VectorBackend("imci", "double")
+        b = VectorBackend("imci", "double")
+        tgt = np.zeros(8)
+        idx = np.arange(8).reshape(1, 8)
+        a.scatter_add_distinct(tgt.copy(), idx, np.ones((1, 8)))
+        b.scatter_add_conflict(tgt.copy(), idx, np.ones((1, 8)))
+        assert a.counter.cycles < b.counter.cycles
+
+    def test_gather_values_and_fill(self, bk):
+        table = np.array([10.0, 20.0, 30.0])
+        idx = np.array([[2, 1, 0, 2, 1, 0, 2, 1]])
+        out = bk.gather(table, idx)
+        assert np.allclose(out[0, :3], [30.0, 20.0, 10.0])
+        m = np.array([[True] * 4 + [False] * 4])
+        out2 = bk.gather(table, idx, mask=m, fill=7.0)
+        assert np.all(out2[0, 4:] == 7.0)
+
+    def test_adjacent_gather_cheaper_without_native(self):
+        avx = VectorBackend("avx", "double")  # no native gather
+        table = np.arange(10.0)
+        idx = np.zeros((1, 4), dtype=np.int64)
+        avx.gather(table, idx, adjacent=True)
+        adjacent_cycles = avx.counter.cycles
+        avx2 = VectorBackend("avx", "double")
+        avx2.gather(table, idx, adjacent=False)
+        assert adjacent_cycles < avx2.counter.cycles
+
+    def test_native_gather_single_category(self):
+        b = VectorBackend("avx2", "double")
+        b.gather(np.arange(4.0), np.zeros((1, 4), dtype=np.int64))
+        assert b.counter.by_category == {"gather": 1}
+
+
+class TestPrecision:
+    def test_widths_per_precision(self):
+        assert VectorBackend("imci", "double").width == 8
+        assert VectorBackend("imci", "single").width == 16
+        assert VectorBackend("imci", "mixed").width == 16
+
+    def test_dtypes(self):
+        s = VectorBackend("avx", Precision.SINGLE)
+        assert s.compute_dtype == np.float32 and s.accum_dtype == np.float32
+        m = VectorBackend("avx", Precision.MIXED)
+        assert m.compute_dtype == np.float32 and m.accum_dtype == np.float64
+        d = VectorBackend("avx", Precision.DOUBLE)
+        assert d.compute_dtype == np.float64
+
+    def test_single_math_is_float32(self):
+        s = VectorBackend("avx", "single")
+        out = s.exp(s.c(np.ones((1, 8))))
+        assert out.dtype == np.float32
+
+    def test_mixed_reduction_upcasts(self):
+        m = VectorBackend("imci", "mixed")
+        v = m.c(np.ones((1, 16)))
+        assert m.reduce_add(v).dtype == np.float64
+
+    def test_neon_double_is_scalar_width(self):
+        assert VectorBackend("neon", "double").width == 1
+
+
+class TestAccounting:
+    def test_reset(self, bk):
+        bk.add(bk.c(np.ones((2, 8))), 1.0)
+        bk.reset_counter()
+        assert bk.counter.instructions == 0
+        assert bk.stats().cycles == 0
+
+    def test_masked_costs_more_on_blend_isas(self):
+        imci = VectorBackend("imci", "double")
+        avx = VectorBackend("avx", "double")
+        a8 = np.ones((1, 8))
+        a4 = np.ones((1, 4))
+        m8 = np.ones((1, 8), dtype=bool)
+        m4 = np.ones((1, 4), dtype=bool)
+        imci.add(imci.c(a8), 1.0, mask=m8)
+        avx.add(avx.c(a4), 1.0, mask=m4)
+        assert avx.counter.cycles > imci.counter.cycles
+
+    def test_utilization_tracks_masks(self, bk):
+        m = np.zeros((1, 8), dtype=bool)
+        m[0, :2] = True
+        bk.add(bk.c(np.ones((1, 8))), 1.0, mask=m)
+        assert bk.stats().utilization == pytest.approx(2.0 / 8.0)
+
+    @given(rows=st.integers(min_value=1, max_value=20), ops=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_counts_additive(self, rows, ops):
+        b = VectorBackend("avx2", "double")
+        a = b.c(np.ones((rows, 4)))
+        for _ in range(ops):
+            b.add(a, 1.0)
+        assert b.counter.by_category.get("arith", 0) == rows * ops
+        assert b.counter.instructions == rows * ops

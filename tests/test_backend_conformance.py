@@ -1,0 +1,37 @@
+"""Every registered backend must pass the conformance battery."""
+
+import pytest
+
+from repro.vector.isa import list_isas
+from repro.vector.selftest import BackendConformanceError, verify_all, verify_backend
+
+
+class TestConformance:
+    @pytest.mark.parametrize("isa", list_isas())
+    @pytest.mark.parametrize("precision", ["double", "single", "mixed"])
+    def test_backend(self, isa, precision):
+        summary = verify_backend(isa, precision)
+        assert summary["checks"] == "passed"
+        assert summary["width"] >= 1
+
+    def test_verify_all(self):
+        results = verify_all()
+        assert len(results) == len(list_isas()) * 3
+
+    def test_violation_detected(self):
+        """A broken backend must be caught, not silently accepted."""
+        from repro.vector.backend import VectorBackend
+
+        class Broken(VectorBackend):
+            def reduce_add(self, v, mask=None, *, rows_active=None):
+                return super().reduce_add(v, mask, rows_active=rows_active) * 0.5
+
+        import repro.vector.selftest as st
+
+        original = st.VectorBackend
+        st.VectorBackend = Broken
+        try:
+            with pytest.raises(BackendConformanceError, match="reduce_add"):
+                verify_backend("avx2")
+        finally:
+            st.VectorBackend = original

@@ -1,0 +1,75 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.mode == "Opt-M" and args.atoms == 512
+
+
+class TestInfo:
+    def test_lists_backends_and_machines(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        for token in ("avx2", "imci", "cuda", "IV+2KNC", "KNL"):
+            assert token in out
+
+
+class TestRun:
+    def test_short_tersoff_run(self, capsys):
+        assert main(["run", "--atoms", "64", "--steps", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "ns/day" in out and "64 Si atoms" in out
+
+    def test_sw_run(self, capsys):
+        assert main(["run", "--atoms", "64", "--steps", "5", "--potential", "sw"]) == 0
+        assert "sw" in capsys.readouterr().out
+
+    def test_ref_mode_run(self, capsys):
+        assert main(["run", "--atoms", "64", "--steps", "2", "--mode", "Ref"]) == 0
+        assert "Ref" in capsys.readouterr().out
+
+
+class TestFigure:
+    def test_table(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "ARM" in capsys.readouterr().out
+
+    def test_fig2(self, capsys):
+        assert main(["figure", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "fast_forward" in out
+
+    def test_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+
+class TestSweep:
+    def test_sweep_small(self, capsys):
+        assert main(["sweep", "--machines", "WM", "KNC", "--single-thread"]) == 0
+        out = capsys.readouterr().out
+        assert "WM" in out and "KNC" in out and "Opt-M" in out
+
+
+class TestValidate:
+    def test_validate_passes(self, capsys):
+        assert main(["validate"]) == 0
+        out = capsys.readouterr().out
+        assert "12/12 checks passed" in out
+        assert "FAIL" not in out
+
+
+class TestProfile:
+    def test_profile_renders(self, capsys):
+        assert main(["profile", "--isa", "avx512", "--precision", "mixed"]) == 0
+        out = capsys.readouterr().out
+        assert "cycle profile" in out and "avx512" in out

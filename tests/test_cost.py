@@ -1,0 +1,78 @@
+"""Cost counter / KernelStats bookkeeping."""
+
+import pytest
+
+from repro.vector.cost import CostCounter, KernelStats
+from repro.vector.isa import get_isa
+
+
+class TestCounter:
+    def test_record_accumulates(self):
+        c = CostCounter(get_isa("avx2"))
+        c.record("arith", 10, 1.0, width=4)
+        c.record("exp", 2, 14.0, width=4)
+        assert c.instructions == 12
+        assert c.cycles == pytest.approx(10 + 28)
+        assert c.lane_slots == 48
+
+    def test_zero_instructions_noop(self):
+        c = CostCounter(get_isa("avx2"))
+        c.record("arith", 0, 1.0)
+        assert c.instructions == 0
+
+    def test_masked_adds_overhead(self):
+        isa = get_isa("avx")  # blend-emulated masking
+        c = CostCounter(isa)
+        c.record("arith", 1, 1.0, masked=True)
+        assert c.cycles == pytest.approx(1.0 + isa.masked_op_cost())
+        free = CostCounter(get_isa("imci"))
+        free.record("arith", 1, 1.0, masked=True)
+        assert free.cycles == pytest.approx(1.0)
+
+    def test_active_lane_tracking(self):
+        c = CostCounter(get_isa("imci"))
+        c.record("arith", 4, 1.0, width=8, active_lanes=8)
+        assert c.stats().utilization == pytest.approx(0.25)
+
+    def test_spin_and_kernel_counters(self):
+        c = CostCounter(get_isa("imci"))
+        c.record_spin(5)
+        c.record_kernel_invocation(3)
+        st = c.stats()
+        assert st.spin_iterations == 5
+        assert st.kernel_invocations == 3
+
+    def test_reset(self):
+        c = CostCounter(get_isa("imci"))
+        c.record("arith", 5, 1.0, width=8)
+        c.reset()
+        assert c.instructions == 0 and c.cycles == 0 and not c.by_category
+
+    def test_merge(self):
+        a = CostCounter(get_isa("imci"))
+        b = CostCounter(get_isa("imci"))
+        a.record("arith", 2, 1.0)
+        b.record("exp", 3, 14.0)
+        m = a.merged_with(b)
+        assert m.instructions == 5
+        assert m.by_category == {"arith": 2, "exp": 3}
+
+    def test_merge_rejects_cross_isa(self):
+        a = CostCounter(get_isa("imci"))
+        b = CostCounter(get_isa("avx"))
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+
+class TestKernelStats:
+    def test_scaling(self):
+        st = KernelStats(cycles=100.0, instructions=50, lane_slots=400,
+                         lane_slots_active=200, kernel_invocations=10,
+                         spin_iterations=5, by_category={"arith": 50})
+        s2 = st.scaled(2.0)
+        assert s2.cycles == 200.0
+        assert s2.by_category["arith"] == 100
+        assert s2.utilization == pytest.approx(st.utilization)
+
+    def test_empty_utilization_is_one(self):
+        assert KernelStats().utilization == 1.0

@@ -1,0 +1,51 @@
+"""Smoke tests: the shipped examples must run as advertised.
+
+Each example is executed in a subprocess (fresh interpreter, exactly
+like a user would run it); only the fast ones run here — the slow MD
+scenarios are exercised piecewise by the unit suites."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "ns/day" in out and "energy drift" in out
+
+    def test_fig2_trace(self):
+        out = run_example("fig2_trace.py")
+        assert "fast-forward compute occupancy : 1.00" in out
+        assert "naive" in out
+
+    def test_cycle_profile(self):
+        out = run_example("cycle_profile.py")
+        assert "cycle profile" in out and "configuration comparison" in out
+
+    def test_multielement_sic(self):
+        out = run_example("multielement_sic.py")
+        assert "zincblende SiC" in out
+        assert "scheme 1c on CUDA".lower() in out.lower()
+
+    def test_precision_validation(self):
+        out = run_example("precision_validation.py", "--cells", "2", "--steps", "120")
+        assert "WITHIN" in out
+
+    def test_performance_portability(self):
+        out = run_example("performance_portability.py")
+        for token in ("ARM", "KNL", "Ref", "Opt-S"):
+            assert token in out

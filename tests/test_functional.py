@@ -1,0 +1,191 @@
+"""Tersoff functional forms: values, analytic derivatives vs finite
+differences, branch consistency of the bond order, dtype discipline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tersoff import functional as F
+from repro.core.tersoff.parameters import ELEMENT_SETS
+
+SI = ELEMENT_SETS["Si"]
+SI_B = ELEMENT_SETS["Si(B)"]
+
+
+def fd(fun, x, h=1e-7):
+    return (fun(x + h) - fun(x - h)) / (2 * h)
+
+
+class TestCutoff:
+    def test_plateau_and_zero(self):
+        assert F.f_c(2.0, SI.R, SI.D) == pytest.approx(1.0)
+        assert F.f_c(3.5, SI.R, SI.D) == pytest.approx(0.0)
+
+    def test_midpoint_half(self):
+        assert F.f_c(SI.R, SI.R, SI.D) == pytest.approx(0.5)
+
+    def test_continuity_at_window_edges(self):
+        eps = 1e-9
+        lo, hi = SI.R - SI.D, SI.R + SI.D
+        assert F.f_c(lo - eps, SI.R, SI.D) == pytest.approx(F.f_c(lo + eps, SI.R, SI.D), abs=1e-6)
+        assert F.f_c(hi - eps, SI.R, SI.D) == pytest.approx(F.f_c(hi + eps, SI.R, SI.D), abs=1e-6)
+
+    def test_monotone_decreasing_in_window(self):
+        r = np.linspace(SI.R - SI.D, SI.R + SI.D, 101)
+        v = F.f_c(r, SI.R, SI.D)
+        assert np.all(np.diff(v) <= 1e-15)
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_derivative_matches_fd(self, r):
+        if abs(r - (SI.R - SI.D)) < 1e-4 or abs(r - (SI.R + SI.D)) < 1e-4:
+            return  # derivative kink at the window edges
+        ana = F.f_c_d(r, SI.R, SI.D)
+        num = fd(lambda x: F.f_c(x, SI.R, SI.D), r)
+        assert ana == pytest.approx(num, abs=1e-5)
+
+    @given(st.floats(min_value=0.1, max_value=5.0))
+    @settings(max_examples=60, deadline=None)
+    def test_range_zero_one(self, r):
+        v = float(F.f_c(r, SI.R, SI.D))
+        assert -1e-12 <= v <= 1.0 + 1e-12
+
+
+class TestPairTerms:
+    @given(st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_repulsive_derivative(self, r):
+        ana = F.f_r_d(r, SI.A, SI.lam1)
+        num = fd(lambda x: F.f_r(x, SI.A, SI.lam1), r)
+        assert ana == pytest.approx(num, rel=1e-5)
+
+    @given(st.floats(min_value=0.5, max_value=4.0))
+    @settings(max_examples=40, deadline=None)
+    def test_attractive_derivative(self, r):
+        ana = F.f_a_d(r, SI.B, SI.lam2)
+        num = fd(lambda x: F.f_a(x, SI.B, SI.lam2), r)
+        assert ana == pytest.approx(num, rel=1e-5)
+
+    def test_signs(self):
+        assert F.f_r(2.0, SI.A, SI.lam1) > 0
+        assert F.f_a(2.0, SI.B, SI.lam2) < 0
+
+
+class TestAngular:
+    @given(st.floats(min_value=-0.999, max_value=0.999))
+    @settings(max_examples=60, deadline=None)
+    def test_derivative(self, cos_t):
+        ana = F.g_angle_d(cos_t, SI.gamma, SI.c, SI.d, SI.h)
+        num = fd(lambda x: F.g_angle(x, SI.gamma, SI.c, SI.d, SI.h), cos_t, h=1e-6)
+        assert ana == pytest.approx(num, rel=1e-4, abs=1e-4)
+
+    def test_minimum_at_h(self):
+        """g is minimal when cos(theta) = h = cos(theta_0)."""
+        grid = np.linspace(-1, 1, 2001)
+        g = F.g_angle(grid, SI.gamma, SI.c, SI.d, SI.h)
+        assert abs(grid[np.argmin(g)] - SI.h) < 2e-3
+
+    def test_positive(self):
+        grid = np.linspace(-1, 1, 101)
+        assert np.all(F.g_angle(grid, SI.gamma, SI.c, SI.d, SI.h) > 0)
+
+
+class TestZetaExp:
+    def test_m3_value(self):
+        v = F.zeta_exp(2.5, 2.3, SI_B.lam3, 3)
+        expected = np.exp((SI_B.lam3 * 0.2) ** 3)
+        assert v == pytest.approx(expected)
+
+    def test_m1_value(self):
+        v = F.zeta_exp(2.5, 2.3, 1.5, 1)
+        assert v == pytest.approx(np.exp(1.5 * 0.2))
+
+    def test_lam3_zero_is_one(self):
+        assert F.zeta_exp(3.0, 1.0, 0.0, 3) == pytest.approx(1.0)
+
+    def test_clamped_no_overflow_float32(self):
+        v = F.zeta_exp(np.float32(10.0), np.float32(1.0), np.float32(5.0), 3)
+        assert np.isfinite(v)
+
+    @given(st.floats(min_value=1.5, max_value=3.5), st.floats(min_value=1.5, max_value=3.5))
+    @settings(max_examples=50, deadline=None)
+    def test_derivative_m3(self, rij, rik):
+        ana = F.zeta_exp_d_over(rij, rik, SI_B.lam3, 3) * F.zeta_exp(rij, rik, SI_B.lam3, 3)
+        num = fd(lambda x: F.zeta_exp(x, rik, SI_B.lam3, 3), rij)
+        assert float(ana) == pytest.approx(float(num), rel=1e-4, abs=1e-7)
+
+    def test_clamp_zeroes_derivative(self):
+        assert F.zeta_exp_d_over(50.0, 1.0, 5.0, 3) == 0.0
+
+
+class TestBondOrder:
+    @pytest.mark.parametrize("entry", [SI, SI_B], ids=["Si(C)", "Si(B)"])
+    def test_limits(self, entry):
+        e = entry
+        assert F.b_order(0.0, e.beta, e.n, e.c1, e.c2, e.c3, e.c4) == pytest.approx(1.0)
+        big = F.b_order(1e12, e.beta, e.n, e.c1, e.c2, e.c3, e.c4)
+        assert 0.0 <= float(big) < 1e-3
+
+    @pytest.mark.parametrize("entry", [SI, SI_B], ids=["Si(C)", "Si(B)"])
+    def test_monotone_decreasing(self, entry):
+        e = entry
+        zeta = np.logspace(-6, 4, 300)
+        b = F.b_order(zeta, e.beta, e.n, e.c1, e.c2, e.c3, e.c4)
+        assert np.all(np.diff(b) <= 1e-12)
+
+    @pytest.mark.parametrize("entry", [SI, SI_B], ids=["Si(C)", "Si(B)"])
+    def test_branches_continuous(self, entry):
+        """The four-branch evaluation stays continuous across switch points."""
+        e = entry
+        for switch in (e.c4, e.c3, e.c2, e.c1):
+            zeta_switch = switch / e.beta
+            lo = F.b_order(zeta_switch * 0.999, e.beta, e.n, e.c1, e.c2, e.c3, e.c4)
+            hi = F.b_order(zeta_switch * 1.001, e.beta, e.n, e.c1, e.c2, e.c3, e.c4)
+            assert float(lo) == pytest.approx(float(hi), rel=1e-2)
+
+    def test_derivative_matches_fd_typical_range(self):
+        e = SI
+        for zeta in (0.5, 1.0, 2.6, 5.0):
+            ana = float(F.b_order_d(zeta, e.beta, e.n, e.c1, e.c2, e.c3, e.c4))
+            num = fd(lambda z: float(F.b_order(z, e.beta, e.n, e.c1, e.c2, e.c3, e.c4)), zeta, h=1e-6)
+            assert ana == pytest.approx(num, rel=1e-5)
+
+    def test_derivative_zero_at_zero_zeta(self):
+        e = SI
+        assert F.b_order_d(0.0, e.beta, e.n, e.c1, e.c2, e.c3, e.c4) == 0.0
+
+    def test_derivative_negative(self):
+        e = SI
+        zeta = np.logspace(-3, 3, 50)
+        d = F.b_order_d(zeta, e.beta, e.n, e.c1, e.c2, e.c3, e.c4)
+        assert np.all(d <= 0.0)
+
+
+class TestDtype:
+    """Opt-S runs genuinely in float32: forms must preserve dtype."""
+
+    @pytest.mark.parametrize("fun,args", [
+        (F.f_c, (SI.R, SI.D)),
+        (F.f_c_d, (SI.R, SI.D)),
+        (F.f_r, (SI.A, SI.lam1)),
+        (F.f_a, (SI.B, SI.lam2)),
+    ])
+    def test_radial_forms_float32(self, fun, args):
+        r = np.linspace(1.5, 3.5, 16, dtype=np.float32)
+        out = fun(r, *args)
+        assert out.dtype == np.float32
+
+    def test_b_order_float32(self):
+        z = np.linspace(0.0, 5.0, 8, dtype=np.float32)
+        e = SI
+        out = F.b_order(z, e.beta, e.n, e.c1, e.c2, e.c3, e.c4)
+        assert out.dtype == np.float32
+        out_d = F.b_order_d(z, e.beta, e.n, e.c1, e.c2, e.c3, e.c4)
+        assert out_d.dtype == np.float32
+
+    def test_single_close_to_double(self):
+        r = np.linspace(1.5, 3.4, 100)
+        d64 = F.f_c(r, SI.R, SI.D)
+        d32 = F.f_c(r.astype(np.float32), SI.R, SI.D)
+        assert np.max(np.abs(d64 - d32.astype(np.float64))) < 5e-6

@@ -1,0 +1,141 @@
+"""Property-based cross-implementation fuzzing.
+
+Hypothesis drives random geometries (clusters and perturbed periodic
+lattices, one or two species); on every draw, every optimized solver
+must reproduce the Algorithm-2 reference.  This is the net under the
+whole reproduction: the fast-forward cursors, packing, masking, kmax
+fallback and segmented sums survive arbitrary irregular inputs, not
+just the benchmark lattice."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.sw import StillingerWeberProduction, StillingerWeberReference, sw_silicon
+from repro.core.tersoff.parameters import tersoff_si, tersoff_sic
+from repro.core.tersoff.optimized import TersoffOptimized
+from repro.core.tersoff.production import TersoffProduction
+from repro.core.tersoff.reference import TersoffReference
+from repro.core.tersoff.vectorized import TersoffVectorized
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.neighbor import NeighborList, NeighborSettings
+
+_SETTINGS = settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+def random_cluster(draw, *, two_species: bool):
+    n = draw(st.integers(min_value=2, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    pts = [np.array([25.0, 25.0, 25.0])]
+    while len(pts) < n:
+        cand = pts[rng.integers(len(pts))] + rng.normal(scale=2.2, size=3)
+        if not np.all((cand > 3.0) & (cand < 47.0)):
+            continue
+        if min(np.linalg.norm(cand - p) for p in pts) > 1.7:
+            pts.append(cand)
+    if two_species:
+        species = ("Si", "C")
+        types = rng.integers(0, 2, size=n).astype(np.int32)
+    else:
+        species = ("Si",)
+        types = np.zeros(n, dtype=np.int32)
+    return AtomSystem(
+        box=Box.cubic(50.0, periodic=False),
+        x=np.array(pts), type=types, species=species,
+        mass=np.full(len(species), 28.0),
+    )
+
+
+def listed(system, cutoff, skin):
+    nl = NeighborList(NeighborSettings(cutoff=cutoff, skin=skin, full=True))
+    nl.build(system.x, system.box, brute_force=True)
+    return nl
+
+
+class TestTersoffFuzz:
+    @given(data=st.data())
+    @_SETTINGS
+    def test_all_paths_match_reference_si(self, data):
+        params = tersoff_si()
+        system = random_cluster(data.draw, two_species=False)
+        skin = data.draw(st.sampled_from([0.3, 1.0, 2.0]))
+        nl = listed(system, params.max_cutoff, skin)
+        ref = TersoffReference(params).compute(system, nl)
+        kmax = data.draw(st.sampled_from([1, 3, 16]))
+        solvers = [
+            TersoffOptimized(params, kmax=kmax),
+            TersoffProduction(params),
+            TersoffVectorized(params, isa=data.draw(st.sampled_from(["avx", "imci", "cuda"])),
+                              scheme=data.draw(st.sampled_from(["1a", "1b", "1c"])),
+                              kmax=kmax,
+                              fast_forward=data.draw(st.booleans()),
+                              filter_neighbors=data.draw(st.booleans())),
+        ]
+        for solver in solvers:
+            res = solver.compute(system, nl)
+            assert res.energy == pytest.approx(ref.energy, rel=1e-10, abs=1e-11), type(solver).__name__
+            assert np.max(np.abs(res.forces - ref.forces)) < 1e-9, type(solver).__name__
+
+    @given(data=st.data())
+    @_SETTINGS
+    def test_all_paths_match_reference_sic(self, data):
+        params = tersoff_sic()
+        system = random_cluster(data.draw, two_species=True)
+        nl = listed(system, params.max_cutoff, 1.0)
+        ref = TersoffReference(params).compute(system, nl)
+        for solver in (
+            TersoffOptimized(params, kmax=2),
+            TersoffProduction(params),
+            TersoffVectorized(params, isa="avx512", scheme="1b", kmax=2),
+        ):
+            res = solver.compute(system, nl)
+            assert res.energy == pytest.approx(ref.energy, rel=1e-10, abs=1e-11)
+            assert np.max(np.abs(res.forces - ref.forces)) < 1e-9
+
+    @given(data=st.data())
+    @_SETTINGS
+    def test_momentum_always_conserved(self, data):
+        params = tersoff_si()
+        system = random_cluster(data.draw, two_species=False)
+        nl = listed(system, params.max_cutoff, 1.0)
+        res = TersoffProduction(params).compute(system, nl)
+        assert np.allclose(res.forces.sum(axis=0), 0.0, atol=1e-9)
+
+
+class TestSWFuzz:
+    @given(data=st.data())
+    @_SETTINGS
+    def test_production_matches_reference(self, data):
+        params = sw_silicon()
+        system = random_cluster(data.draw, two_species=False)
+        nl = listed(system, params.cut, 1.0)
+        ref = StillingerWeberReference(params).compute(system, nl)
+        res = StillingerWeberProduction(params).compute(system, nl)
+        assert res.energy == pytest.approx(ref.energy, rel=1e-10, abs=1e-11)
+        assert np.max(np.abs(res.forces - ref.forces)) < 1e-9
+
+
+class TestPeriodicFuzz:
+    @given(
+        cells=st.sampled_from([(2, 2, 2), (3, 2, 2), (2, 3, 2)]),
+        amplitude=st.floats(min_value=0.0, max_value=0.25),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @_SETTINGS
+    def test_vectorized_matches_production_periodic(self, cells, amplitude, seed):
+        from repro.md.lattice import diamond_lattice, perturbed
+
+        params = tersoff_si()
+        system = perturbed(diamond_lattice(*cells), amplitude, seed=seed)
+        nl = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0, full=True))
+        nl.build(system.x, system.box)
+        a = TersoffProduction(params).compute(system, nl)
+        b = TersoffVectorized(params, isa="imci", scheme="1b").compute(system, nl)
+        assert b.energy == pytest.approx(a.energy, rel=1e-10, abs=1e-11)
+        assert np.max(np.abs(a.forces - b.forces)) < 1e-9

@@ -1,0 +1,186 @@
+"""Integrators: velocity Verlet correctness, thermostats."""
+
+import numpy as np
+import pytest
+
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.integrate import Langevin, VelocityRescale, VelocityVerlet
+from repro.md.lattice import diamond_lattice, seeded_velocities
+from repro.md.units import FTM2V
+
+
+def free_particle(v):
+    s = AtomSystem(box=Box.cubic(100.0, periodic=False),
+                   x=np.array([[50.0, 50.0, 50.0]]), mass=np.array([10.0]))
+    s.v[0] = v
+    return s
+
+
+class TestVelocityVerlet:
+    def test_rejects_bad_dt(self):
+        with pytest.raises(ValueError):
+            VelocityVerlet(0.0)
+
+    def test_free_flight(self):
+        s = free_particle([1.0, -2.0, 0.5])
+        vv = VelocityVerlet(0.01)
+        for _ in range(10):
+            vv.initial_integrate(s)
+            vv.final_integrate(s)
+        assert np.allclose(s.x[0], [50.0 + 0.1, 50.0 - 0.2, 50.0 + 0.05])
+        assert np.allclose(s.v[0], [1.0, -2.0, 0.5])
+
+    def test_constant_force_trajectory(self):
+        """x(t) = x0 + v0 t + (F/m) t^2 / 2 under a constant force."""
+        s = free_particle([0.0, 0.0, 0.0])
+        force = 2.5  # eV/A
+        s.f[0, 0] = force
+        vv = VelocityVerlet(0.001)
+        steps = 200
+        for _ in range(steps):
+            vv.initial_integrate(s)
+            # constant force field: f unchanged
+            vv.final_integrate(s)
+        t = steps * vv.dt
+        accel = force * FTM2V / 10.0
+        assert s.x[0, 0] == pytest.approx(50.0 + 0.5 * accel * t * t, rel=1e-10)
+        assert s.v[0, 0] == pytest.approx(accel * t, rel=1e-10)
+
+    def test_wraps_positions(self):
+        s = AtomSystem(box=Box.cubic(5.0), x=np.array([[4.9, 0.0, 0.0]]), mass=np.array([1.0]))
+        s.v[0, 0] = 100.0
+        vv = VelocityVerlet(0.01)
+        vv.initial_integrate(s)
+        assert 0.0 <= s.x[0, 0] < 5.0
+
+    def test_time_reversible(self):
+        """Verlet is exactly time-reversible for conservative flow with
+        a fixed force field evaluation (here: zero forces)."""
+        s = free_particle([3.0, 1.0, -2.0])
+        vv = VelocityVerlet(0.05)
+        x0, v0 = s.x.copy(), s.v.copy()
+        for _ in range(5):
+            vv.initial_integrate(s)
+            vv.final_integrate(s)
+        s.v *= -1
+        for _ in range(5):
+            vv.initial_integrate(s)
+            vv.final_integrate(s)
+        assert np.allclose(s.x, x0, atol=1e-12)
+        assert np.allclose(-s.v, v0, atol=1e-12)
+
+
+class TestLangevin:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Langevin(-1.0, 0.1, 0.001)
+        with pytest.raises(ValueError):
+            Langevin(300.0, 0.0, 0.001)
+
+    def test_thermalizes_toward_target(self):
+        s = diamond_lattice(2, 2, 2)
+        seeded_velocities(s, 10.0, seed=1)
+        lan = Langevin(600.0, damping=0.05, dt=0.001, seed=3)
+        vv = VelocityVerlet(0.001)
+        temps = []
+        for step in range(1500):
+            vv.initial_integrate(s)
+            s.f[:] = 0.0
+            lan.apply(s)
+            vv.final_integrate(s)
+            if step > 1000:
+                temps.append(s.temperature())
+        mean_t = float(np.mean(temps))
+        assert 350.0 < mean_t < 900.0  # stochastic, loose band around 600
+
+    def test_friction_decays_velocity(self):
+        s = free_particle([10.0, 0.0, 0.0])
+        lan = Langevin(0.0, damping=0.01, dt=0.001, seed=1)
+        vv = VelocityVerlet(0.001)
+        for _ in range(100):
+            vv.initial_integrate(s)
+            s.f[:] = 0.0
+            lan.apply(s)
+            vv.final_integrate(s)
+        assert abs(s.v[0, 0]) < 1.0  # decayed from 10 by ~e^-10
+
+
+class TestVelocityRescale:
+    def test_rescales_on_interval(self):
+        s = diamond_lattice(2, 2, 2)
+        seeded_velocities(s, 1000.0, seed=2)
+        vr = VelocityRescale(500.0, every=5)
+        vr.maybe_rescale(s, step=3)
+        assert s.temperature() == pytest.approx(1000.0)
+        vr.maybe_rescale(s, step=5)
+        assert s.temperature() == pytest.approx(500.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            VelocityRescale(-5.0)
+        with pytest.raises(ValueError):
+            VelocityRescale(300.0, every=0)
+
+
+class TestNoseHoover:
+    def test_rejects_bad_params(self):
+        from repro.md.integrate import NoseHoover
+
+        with pytest.raises(ValueError):
+            NoseHoover(0.0, 0.1, 0.001)
+        with pytest.raises(ValueError):
+            NoseHoover(300.0, -1.0, 0.001)
+
+    def test_thermalizes_lattice(self):
+        """NVT on Tersoff silicon: temperature relaxes toward the target
+        (started from a perfect lattice, equipartition halves T0, the
+        thermostat must pull it back up)."""
+        from repro.core.tersoff.parameters import tersoff_si
+        from repro.core.tersoff.production import TersoffProduction
+        from repro.md.integrate import NoseHoover
+        from repro.md.neighbor import NeighborSettings
+        from repro.md.simulation import Simulation
+
+        params = tersoff_si()
+        system = diamond_lattice(2, 2, 2)
+        seeded_velocities(system, 500.0, seed=7)
+        nh = NoseHoover(500.0, damping=0.05, dt=0.001)
+        sim = Simulation(system, TersoffProduction(params),
+                         neighbor=NeighborSettings(cutoff=params.max_cutoff, skin=1.0),
+                         thermostat=nh)
+        res = sim.run(600, thermo_every=50)
+        late = [t.temperature for t in res.thermo[-4:]]
+        mean_late = float(np.mean(late))
+        assert 330.0 < mean_late < 680.0  # pulled back toward 500, not T0/2=250
+
+    def test_deterministic(self):
+        from repro.md.integrate import NoseHoover
+
+        def run():
+            s = diamond_lattice(2, 2, 2)
+            seeded_velocities(s, 400.0, seed=9)
+            nh = NoseHoover(400.0, damping=0.1, dt=0.001)
+            vv = VelocityVerlet(0.001)
+            for _ in range(50):
+                nh.half_step(s)
+                vv.initial_integrate(s)
+                s.f[:] = 0.0
+                vv.final_integrate(s)
+                nh.half_step(s)
+            return s.v.copy(), nh.xi
+
+        v1, xi1 = run()
+        v2, xi2 = run()
+        assert np.array_equal(v1, v2) and xi1 == xi2
+
+    def test_thermostat_energy_tracked(self):
+        from repro.md.integrate import NoseHoover
+
+        s = diamond_lattice(2, 2, 2)
+        seeded_velocities(s, 1000.0, seed=10)
+        nh = NoseHoover(300.0, damping=0.05, dt=0.001)
+        assert nh.energy(s) == 0.0
+        nh.half_step(s)
+        assert nh.xi != 0.0
+        assert nh.energy(s) > 0.0

@@ -1,0 +1,102 @@
+"""Structure/trajectory I/O round trips."""
+
+import numpy as np
+import pytest
+
+from repro.md.io import XYZTrajectory, read_xyz, read_xyz_frames, write_lammps_data, write_xyz
+from repro.md.lattice import seeded_velocities, zincblende_sic, diamond_lattice
+from repro.md.neighbor import NeighborSettings
+from repro.md.pair_lj import LennardJones
+from repro.md.simulation import Simulation
+
+
+class TestXYZ:
+    def test_roundtrip_positions_and_box(self, tmp_path):
+        s = diamond_lattice(2, 2, 2)
+        path = tmp_path / "si.xyz"
+        write_xyz(s, path, comment="test frame")
+        s2 = read_xyz(path)
+        assert s2.n == s.n
+        assert np.allclose(s2.x, s.x, atol=1e-9)
+        assert np.allclose(s2.box.lengths, s.box.lengths)
+        assert s2.species == ("Si",)
+
+    def test_roundtrip_multispecies(self, tmp_path):
+        s = zincblende_sic(2, 2, 2)
+        path = tmp_path / "sic.xyz"
+        write_xyz(s, path)
+        s2 = read_xyz(path, species=("Si", "C"))
+        assert np.array_equal(s2.type, s.type)
+        assert s2.species == ("Si", "C")
+
+    def test_read_without_lattice_builds_open_box(self, tmp_path):
+        path = tmp_path / "plain.xyz"
+        path.write_text("2\nplain frame\nSi 0.0 0.0 0.0\nSi 2.0 0.0 0.0\n")
+        s = read_xyz(path)
+        assert s.n == 2
+        assert s.box.periodic == (False, False, False)
+
+    def test_truncated_rejected(self, tmp_path):
+        path = tmp_path / "bad.xyz"
+        path.write_text("5\ncomment\nSi 0 0 0\n")
+        with pytest.raises(ValueError, match="declares"):
+            read_xyz(path)
+
+
+class TestLammpsData:
+    def test_contents(self, tmp_path):
+        s = zincblende_sic(1, 1, 1)
+        seeded_velocities(s, 300.0, seed=1)
+        path = tmp_path / "data.sic"
+        write_lammps_data(s, path)
+        text = path.read_text()
+        assert f"{s.n} atoms" in text
+        assert "2 atom types" in text
+        assert "Masses" in text and "Velocities" in text
+        # one atom line per atom, 1-based ids
+        atoms_block = text.split("Atoms # atomic")[1].split("Velocities")[0].strip()
+        assert len(atoms_block.splitlines()) == s.n
+
+
+class TestTrajectory:
+    def test_frames_written_via_callback(self, tmp_path):
+        s = diamond_lattice(2, 2, 2)
+        seeded_velocities(s, 300.0, seed=2)
+        sim = Simulation(s, LennardJones(0.02, 2.3, cutoff=4.2, shift=True),
+                         neighbor=NeighborSettings(cutoff=4.2, skin=0.8, full=False))
+        traj = XYZTrajectory(tmp_path / "run.xyz", every=5)
+        sim.run(20, callback=traj.callback)
+        assert traj.frames_written == 4
+        text = (tmp_path / "run.xyz").read_text()
+        assert text.count("step=") == 4
+
+    def test_rejects_bad_interval(self, tmp_path):
+        with pytest.raises(ValueError):
+            XYZTrajectory(tmp_path / "x.xyz", every=0)
+
+
+class TestMultiFrame:
+    def test_read_xyz_frames(self, tmp_path):
+        from repro.md.io import read_xyz_frames
+
+        s = diamond_lattice(1, 1, 1)
+        path = tmp_path / "multi.xyz"
+        write_xyz(s, path, comment="frame0")
+        s.x[0, 0] += 0.1
+        write_xyz(s, path, comment="frame1", append=True)
+        frames = read_xyz_frames(path)
+        assert len(frames) == 2
+        assert abs(frames[1].x[0, 0] - frames[0].x[0, 0]) == pytest.approx(0.1, abs=1e-9)
+
+    def test_trajectory_roundtrip(self, tmp_path):
+        from repro.md.io import read_xyz_frames
+
+        s = diamond_lattice(2, 2, 2)
+        seeded_velocities(s, 300.0, seed=3)
+        sim = Simulation(s, LennardJones(0.02, 2.3, cutoff=4.2, shift=True),
+                         neighbor=NeighborSettings(cutoff=4.2, skin=0.8, full=False))
+        traj = XYZTrajectory(tmp_path / "t.xyz", every=2)
+        sim.run(6, callback=traj.callback)
+        frames = read_xyz_frames(tmp_path / "t.xyz")
+        assert len(frames) == 3
+        assert all(f.n == s.n for f in frames)

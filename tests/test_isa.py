@@ -1,0 +1,101 @@
+"""ISA registry: widths, feature flags, cost helpers."""
+
+import pytest
+
+from repro.vector.isa import ISA, ISA_REGISTRY, OpCosts, get_isa, list_isas
+
+
+class TestRegistry:
+    def test_all_paper_backends_present(self):
+        """Sec. V-B: Scalar, SSE4.2, AVX, AVX2, IMCI, AVX-512, CUDA (+NEON)."""
+        for name in ("scalar", "sse4.2", "avx", "avx2", "imci", "avx512", "cuda", "neon"):
+            assert name in ISA_REGISTRY
+
+    def test_lookup_case_insensitive(self):
+        assert get_isa("AVX2") is get_isa("avx2")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError, match="unknown ISA"):
+            get_isa("avx1024")
+
+    def test_list_sorted(self):
+        names = list_isas()
+        assert names == sorted(names)
+
+
+class TestWidths:
+    @pytest.mark.parametrize("name,wd,ws", [
+        ("scalar", 1, 1), ("neon", 1, 4), ("sse4.2", 2, 4), ("avx", 4, 8),
+        ("avx2", 4, 8), ("imci", 8, 16), ("avx512", 8, 16), ("cuda", 32, 32),
+    ])
+    def test_paper_widths(self, name, wd, ws):
+        isa = get_isa(name)
+        assert isa.width(single=False) == wd
+        assert isa.width(single=True) == ws
+
+    def test_neon_no_double_vectors(self):
+        """Footnote 3: NEON does not support vectorized double precision."""
+        assert not get_isa("neon").has_double_vector
+
+
+class TestFeatures:
+    def test_avx_lacks_integer_vectors(self):
+        """Sec. VI-A: 'AVX lacks the integer instructions necessary to
+        efficiently implement the (1b) scheme'."""
+        assert not get_isa("avx").has_integer_vector
+        assert get_isa("avx2").has_integer_vector
+        assert get_isa("sse4.2").has_integer_vector
+
+    def test_gather_support(self):
+        """'AVX2 adds integer and gather instructions'."""
+        assert get_isa("avx2").has_native_gather
+        assert not get_isa("avx").has_native_gather
+        assert get_isa("imci").has_native_gather
+
+    def test_conflict_detection_only_avx512(self):
+        assert get_isa("avx512").has_conflict_detection
+        assert not get_isa("imci").has_conflict_detection
+        assert not get_isa("avx2").has_conflict_detection
+
+    def test_warp_vote_only_cuda(self):
+        assert get_isa("cuda").has_warp_vote
+        assert not get_isa("avx512").has_warp_vote
+
+    def test_free_masking(self):
+        """IMCI/AVX-512 have mask registers; SSE/AVX emulate with blends."""
+        assert get_isa("imci").has_free_masking
+        assert get_isa("avx512").has_free_masking
+        assert not get_isa("avx").has_free_masking
+
+
+class TestCosts:
+    def test_gather_native_vs_emulated(self):
+        avx2 = get_isa("avx2")
+        avx = get_isa("avx")
+        # emulated gather scales with lane count, native does not
+        assert avx.gather_cost(8) == pytest.approx(avx.costs.gather_emulated * 8)
+        assert avx2.gather_cost(8) == avx2.costs.gather
+
+    def test_conflict_scatter(self):
+        imci = get_isa("imci")
+        avx512 = get_isa("avx512")
+        assert imci.scatter_conflict_cost(16) == pytest.approx(16 * imci.costs.scatter_serial_per_lane)
+        assert avx512.scatter_conflict_cost(16) == avx512.costs.scatter_conflict_detect
+        assert avx512.scatter_conflict_cost(16) < imci.scatter_conflict_cost(16)
+
+    def test_masked_op_cost(self):
+        assert get_isa("imci").masked_op_cost() == 0.0
+        assert get_isa("avx").masked_op_cost() > 0.0
+
+    def test_opcosts_defaults(self):
+        c = OpCosts()
+        assert c.exp > c.arith
+        assert c.divide > c.arith
+
+    def test_isa_frozen(self):
+        with pytest.raises(AttributeError):
+            get_isa("avx").name = "x"
+
+    def test_custom_isa_constructible(self):
+        isa = ISA(name="test", width_double=2, width_single=4)
+        assert isa.width(True) == 4

@@ -1,0 +1,76 @@
+"""Tersoff with m = 1 (the other exponent branch of Eq. 7).
+
+All bundled sets use m = 3; the functional form also admits m = 1
+(e.g. Tersoff-style GaN/AlN parameterizations).  This suite pins the
+m = 1 branch end to end: finite differences on the reference, and
+cross-implementation equality for every solver."""
+
+import numpy as np
+import pytest
+
+from conftest import build_list, make_cluster
+from repro.core.tersoff.optimized import TersoffOptimized
+from repro.core.tersoff.parameters import TersoffEntry, TersoffParams
+from repro.core.tersoff.production import TersoffProduction
+from repro.core.tersoff.reference import TersoffReference
+from repro.core.tersoff.vectorized import TersoffVectorized
+from repro.md.potential import finite_difference_forces
+
+
+@pytest.fixture(scope="module")
+def m1_params():
+    """A silicon-like set with m=1 and a nonzero lam3."""
+    entry = TersoffEntry(
+        m=1, gamma=1.0, lam3=1.2, c=100390.0, d=16.217, h=-0.59825,
+        n=0.78734, beta=1.1e-6, lam2=1.73222, B=471.18, R=2.85, D=0.15,
+        lam1=2.4799, A=1830.8,
+    )
+    return TersoffParams(("Si",), {("Si", "Si", "Si"): entry})
+
+
+@pytest.fixture(scope="module")
+def m1_workload(m1_params):
+    s = make_cluster(8, seed=81)
+    nl = build_list(s, m1_params.max_cutoff, brute=True)
+    return s, nl
+
+
+class TestM1:
+    def test_entry_accepts_m1(self, m1_params):
+        assert m1_params.entry(0, 0, 0).m == 1
+
+    def test_reference_finite_difference(self, m1_params, m1_workload):
+        s, nl = m1_workload
+        pot = TersoffReference(m1_params)
+        res = pot.compute(s, nl)
+        fd = finite_difference_forces(pot, s, nl, h=1e-6)
+        scale = max(np.max(np.abs(fd)), 1e-8)
+        assert np.max(np.abs(res.forces - fd)) / scale < 1e-5
+
+    def test_all_solvers_agree(self, m1_params, m1_workload):
+        s, nl = m1_workload
+        ref = TersoffReference(m1_params).compute(s, nl)
+        assert ref.energy < 0  # bound cluster
+        for solver in (
+            TersoffOptimized(m1_params, kmax=4),
+            TersoffProduction(m1_params),
+            TersoffVectorized(m1_params, isa="imci", scheme="1b"),
+            TersoffVectorized(m1_params, isa="avx", scheme="1a"),
+            TersoffVectorized(m1_params, isa="cuda", scheme="1c"),
+        ):
+            res = solver.compute(s, nl)
+            assert res.energy == pytest.approx(ref.energy, rel=1e-10), type(solver).__name__
+            assert np.max(np.abs(res.forces - ref.forces)) < 1e-9, type(solver).__name__
+
+    def test_m1_differs_from_m3(self, m1_params, m1_workload):
+        """Sanity: the exponent branch actually matters for lam3 != 0."""
+        s, nl = m1_workload
+        e1 = TersoffReference(m1_params).compute(s, nl).energy
+        entry3 = TersoffEntry(
+            m=3, gamma=1.0, lam3=1.2, c=100390.0, d=16.217, h=-0.59825,
+            n=0.78734, beta=1.1e-6, lam2=1.73222, B=471.18, R=2.85, D=0.15,
+            lam1=2.4799, A=1830.8,
+        )
+        p3 = TersoffParams(("Si",), {("Si", "Si", "Si"): entry3})
+        e3 = TersoffReference(p3).compute(s, nl).energy
+        assert abs(e1 - e3) > 1e-6

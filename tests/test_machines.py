@@ -1,0 +1,82 @@
+"""The hardware registry must contain every row of Tables I-III with
+the paper's core counts and ISAs."""
+
+import pytest
+
+from repro.perf.machines import get_machine, list_machines, table_i, table_ii, table_iii
+
+
+class TestTableI:
+    def test_rows(self):
+        names = {m.name for m in table_i()}
+        assert names == {"ARM", "WM", "SB", "HW", "HW2", "BW"}
+
+    @pytest.mark.parametrize("name,cores,isa", [
+        ("WM", (2, 6), "sse4.2"),
+        ("SB", (2, 8), "avx"),
+        ("HW", (2, 12), "avx2"),
+        ("HW2", (2, 14), "avx2"),
+        ("BW", (2, 18), "avx2"),
+    ])
+    def test_row_values(self, name, cores, isa):
+        m = get_machine(name)
+        assert (m.sockets, m.cores_per_socket) == cores
+        assert m.isa == isa
+
+    def test_arm_neon(self):
+        assert get_machine("ARM").isa == "neon"
+
+
+class TestTableII:
+    def test_rows(self):
+        names = {m.name for m in table_ii()}
+        assert names == {"K20X", "K40"}
+
+    def test_gpu_hosts_are_e5_2650(self):
+        for m in table_ii():
+            assert "E5-2650" in m.processor
+            assert m.isa == "avx"
+            assert len(m.accelerators) == 1
+            assert m.accelerators[0].isa == "cuda"
+
+
+class TestTableIII:
+    def test_rows(self):
+        names = {m.name for m in table_iii()}
+        assert names == {"SB+KNC", "IV+2KNC", "HW+KNC", "KNL"}
+
+    def test_accelerator_counts(self):
+        assert len(get_machine("SB+KNC").accelerators) == 1
+        assert len(get_machine("IV+2KNC").accelerators) == 2
+        assert get_machine("IV+2KNC").accelerators[0].isa == "imci"
+
+    def test_knl_self_hosted(self):
+        knl = get_machine("KNL")
+        assert knl.isa == "avx512"
+        assert knl.cores == 68
+        assert not knl.accelerators
+
+    def test_knc_native_view_exists(self):
+        knc = get_machine("KNC")
+        assert knc.isa == "imci"
+        assert knc.cores == 60
+
+
+class TestHelpers:
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            get_machine("EPYC")
+
+    def test_list_filter(self):
+        assert all(m.table == "I" for m in list_machines("I"))
+        assert len(list_machines()) >= 13
+
+    def test_describe(self):
+        text = get_machine("IV+2KNC").describe()
+        assert "2 x 8" in text and "Xeon Phi" in text
+
+    def test_ref_overhead_anchors(self):
+        """WM and ARM carry the paper's measured scalar Opt-D/Ref."""
+        assert get_machine("WM").ref_overhead == pytest.approx(1.9)
+        assert get_machine("ARM").ref_overhead == pytest.approx(2.4)
+        assert get_machine("SB").ref_overhead == pytest.approx(2.0)

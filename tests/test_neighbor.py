@@ -1,0 +1,168 @@
+"""Neighbor lists: binned vs brute-force equivalence, skin semantics,
+rebuild triggering, CSR/padded layouts; property-based completeness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.box import Box
+from repro.md.lattice import diamond_lattice, perturbed
+from repro.md.neighbor import NeighborList, NeighborSettings, _expand_ranges
+
+
+def pairset(nl):
+    i, j = nl.pairs()
+    return set(zip(i.tolist(), j.tolist()))
+
+
+class TestSettings:
+    def test_rejects_nonpositive_cutoff(self):
+        with pytest.raises(ValueError):
+            NeighborSettings(cutoff=0.0)
+
+    def test_rejects_negative_skin(self):
+        with pytest.raises(ValueError):
+            NeighborSettings(cutoff=1.0, skin=-0.1)
+
+    def test_list_cutoff(self):
+        assert NeighborSettings(cutoff=3.0, skin=1.0).list_cutoff == 4.0
+
+
+class TestExpandRanges:
+    def test_basic(self):
+        rows, vals = _expand_ranges(np.array([5, 10]), np.array([7, 13]))
+        assert rows.tolist() == [0, 0, 1, 1, 1]
+        assert vals.tolist() == [5, 6, 10, 11, 12]
+
+    def test_empty(self):
+        rows, vals = _expand_ranges(np.array([3]), np.array([3]))
+        assert rows.size == 0 and vals.size == 0
+
+
+class TestBinnedVsBrute:
+    def test_lattice_periodic(self):
+        s = perturbed(diamond_lattice(3, 3, 3), 0.2, seed=1)
+        a = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        a.build(s.x, s.box)
+        b = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        b.build(s.x, s.box, brute_force=True)
+        assert pairset(a) == pairset(b)
+
+    def test_small_box_falls_back(self):
+        # 2 bins per axis -> binning invalid -> automatic brute force
+        s = diamond_lattice(2, 2, 2)
+        a = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        a.build(s.x, s.box)
+        b = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        b.build(s.x, s.box, brute_force=True)
+        assert pairset(a) == pairset(b)
+
+    @given(
+        n=st.integers(min_value=2, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**31),
+        periodic=st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_points_match_brute_force(self, n, seed, periodic):
+        rng = np.random.default_rng(seed)
+        box = Box.cubic(20.0, periodic=periodic)
+        x = rng.uniform(0, 20, size=(n, 3))
+        a = NeighborList(NeighborSettings(cutoff=3.5, skin=1.5))
+        a.build(x, box)
+        b = NeighborList(NeighborSettings(cutoff=3.5, skin=1.5))
+        b.build(x, box, brute_force=True)
+        assert pairset(a) == pairset(b)
+
+
+class TestSemantics:
+    def test_full_list_symmetric(self):
+        s = perturbed(diamond_lattice(3, 3, 3), 0.1, seed=2)
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0, full=True))
+        nl.build(s.x, s.box)
+        ps = pairset(nl)
+        assert all((j, i) in ps for i, j in ps)
+
+    def test_half_list_is_half(self):
+        s = perturbed(diamond_lattice(3, 3, 3), 0.1, seed=2)
+        full = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0, full=True))
+        full.build(s.x, s.box)
+        half = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0, full=False))
+        half.build(s.x, s.box)
+        assert half.n_pairs * 2 == full.n_pairs
+        assert all(i < j for i, j in pairset(half))
+
+    def test_no_self_pairs(self):
+        s = diamond_lattice(3, 3, 3)
+        nl = NeighborList(NeighborSettings(cutoff=4.0, skin=0.5))
+        nl.build(s.x, s.box)
+        i, j = nl.pairs()
+        assert np.all(i != j)
+
+    def test_distances_within_list_cutoff(self):
+        s = perturbed(diamond_lattice(3, 3, 3), 0.2, seed=3)
+        nl = NeighborList(NeighborSettings(cutoff=2.5, skin=0.7))
+        nl.build(s.x, s.box)
+        i, j = nl.pairs()
+        d = s.box.distance(s.x[i], s.x[j])
+        assert np.all(d <= 3.2 + 1e-12)
+
+    def test_skin_atoms_present(self):
+        """The list *must* contain atoms beyond the force cutoff — the
+        skin atoms whose exclusion the paper's Sec. IV is about."""
+        s = diamond_lattice(3, 3, 3)
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        nl.build(s.x, s.box)
+        i, j = nl.pairs()
+        d = s.box.distance(s.x[i], s.x[j])
+        assert np.any(d > 3.0), "expected skin atoms beyond the force cutoff"
+
+
+class TestRebuild:
+    def test_needs_rebuild_initially(self):
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        assert nl.needs_rebuild(np.zeros((2, 3)))
+
+    def test_half_skin_trigger(self):
+        s = diamond_lattice(3, 3, 3)
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        nl.build(s.x, s.box)
+        x = s.x.copy()
+        x[0, 0] += 0.49
+        assert not nl.needs_rebuild(x)
+        x[0, 0] += 0.02  # total 0.51 > skin/2
+        assert nl.needs_rebuild(x)
+
+    def test_ensure_counts_builds(self):
+        s = diamond_lattice(3, 3, 3)
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        assert nl.ensure(s.x, s.box) is True
+        assert nl.ensure(s.x, s.box) is False
+        assert nl.n_builds == 1
+
+    def test_zero_skin_always_rebuilds(self):
+        s = diamond_lattice(3, 3, 3)
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=0.0))
+        nl.build(s.x, s.box)
+        assert nl.needs_rebuild(s.x)
+
+
+class TestLayouts:
+    def test_padded_roundtrip(self):
+        s = perturbed(diamond_lattice(3, 3, 3), 0.1, seed=4)
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        nl.build(s.x, s.box)
+        padded, counts = nl.to_padded()
+        assert padded.shape[0] == s.n
+        for i in range(s.n):
+            row = padded[i, : counts[i]]
+            assert np.array_equal(np.sort(row), np.sort(nl.neighbors_of(i)))
+            assert np.all(padded[i, counts[i]:] == -1)
+
+    def test_neighbors_of_matches_pairs(self):
+        s = perturbed(diamond_lattice(3, 3, 3), 0.1, seed=5)
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        nl.build(s.x, s.box)
+        ps = pairset(nl)
+        rebuilt = {(i, int(j)) for i in range(s.n) for j in nl.neighbors_of(i)}
+        assert rebuilt == ps

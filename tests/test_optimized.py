@@ -1,0 +1,96 @@
+"""Algorithm 3 (scalar optimized): equality with the reference, the
+kmax fallback, and the halved zeta-evaluation count."""
+
+import numpy as np
+import pytest
+
+from conftest import build_list, make_cluster
+from repro.core.tersoff.optimized import TersoffOptimized, zeta_and_dzeta
+from repro.core.tersoff.reference import TersoffReference, _dzeta
+from repro.core.tersoff.parameters import tersoff_si, tersoff_sic
+
+
+class TestEquality:
+    def test_matches_reference_lattice(self, si_params, si_lattice_222, si_neigh_222, si_reference_222):
+        res = TersoffOptimized(si_params, kmax=8).compute(si_lattice_222, si_neigh_222)
+        assert res.energy == pytest.approx(si_reference_222.energy, rel=1e-13)
+        assert np.max(np.abs(res.forces - si_reference_222.forces)) < 1e-12
+        assert res.virial == pytest.approx(si_reference_222.virial, rel=1e-12)
+
+    def test_matches_reference_sic(self, sic_params, sic_lattice, sic_neigh, sic_reference):
+        res = TersoffOptimized(sic_params, kmax=8).compute(sic_lattice, sic_neigh)
+        assert res.energy == pytest.approx(sic_reference.energy, rel=1e-12)
+        assert np.max(np.abs(res.forces - sic_reference.forces)) < 1e-11
+
+    def test_matches_on_cluster(self):
+        params = tersoff_si()
+        s = make_cluster(8, seed=20)
+        nl = build_list(s, params.max_cutoff, brute=True)
+        r_ref = TersoffReference(params).compute(s, nl)
+        r_opt = TersoffOptimized(params).compute(s, nl)
+        assert r_opt.energy == pytest.approx(r_ref.energy, rel=1e-13)
+        assert np.max(np.abs(r_opt.forces - r_ref.forces)) < 1e-12
+
+
+class TestKmaxFallback:
+    @pytest.mark.parametrize("kmax", [0, 1, 2, 3])
+    def test_small_kmax_still_exact(self, kmax, si_params, si_lattice_222, si_neigh_222, si_reference_222):
+        res = TersoffOptimized(si_params, kmax=kmax).compute(si_lattice_222, si_neigh_222)
+        assert res.energy == pytest.approx(si_reference_222.energy, rel=1e-12)
+        assert np.max(np.abs(res.forces - si_reference_222.forces)) < 1e-11
+        assert res.virial == pytest.approx(si_reference_222.virial, rel=1e-10)
+
+    def test_fallback_counter(self, si_params, si_lattice_222, si_neigh_222):
+        full = TersoffOptimized(si_params, kmax=8).compute(si_lattice_222, si_neigh_222)
+        assert full.stats["fallback_ks"] == 0
+        tight = TersoffOptimized(si_params, kmax=1).compute(si_lattice_222, si_neigh_222)
+        # each pair has 3 in-cutoff ks; kmax=1 stores one, recomputes two
+        assert tight.stats["fallback_ks"] == 2 * tight.stats["pairs_in_cutoff"]
+
+    def test_rejects_negative_kmax(self, si_params):
+        with pytest.raises(ValueError):
+            TersoffOptimized(si_params, kmax=-1)
+
+
+class TestSavings:
+    def test_zeta_evaluations_halved(self, si_params, si_lattice_222, si_neigh_222, si_reference_222):
+        """The Sec. IV-A optimization: zeta terms evaluated once, not twice."""
+        res = TersoffOptimized(si_params, kmax=8).compute(si_lattice_222, si_neigh_222)
+        assert res.stats["zeta_evaluations"] * 2 == si_reference_222.stats["zeta_evaluations"]
+
+    def test_fallback_costs_extra(self, si_params, si_lattice_222, si_neigh_222):
+        base = TersoffOptimized(si_params, kmax=8).compute(si_lattice_222, si_neigh_222)
+        tight = TersoffOptimized(si_params, kmax=1).compute(si_lattice_222, si_neigh_222)
+        assert tight.stats["zeta_evaluations"] > base.stats["zeta_evaluations"]
+
+
+class TestFusedZeta:
+    def test_zeta_and_dzeta_matches_separate(self, si_params):
+        """The fused evaluation must equal zeta_term + _dzeta exactly."""
+        e = si_params.entry(0, 0, 0)
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            dij = rng.normal(scale=1.5, size=3)
+            dik = rng.normal(scale=1.5, size=3)
+            rij = float(np.linalg.norm(dij))
+            rik = float(np.linalg.norm(dik))
+            if rij < 0.5 or rik < 0.5:
+                continue
+            z, di, dj, dk = zeta_and_dzeta(dij, rij, dik, rik, e)
+            di2, dj2, dk2 = _dzeta(dij, rij, dik, rik, e)
+            assert np.allclose(di, di2, atol=1e-14)
+            assert np.allclose(dj, dj2, atol=1e-14)
+            assert np.allclose(dk, dk2, atol=1e-14)
+            assert np.isfinite(z)
+
+    def test_dzeta_sums_to_zero(self, si_params):
+        """Translation invariance of zeta: the three gradients cancel."""
+        e = si_params.entry(0, 0, 0)
+        z, di, dj, dk = zeta_and_dzeta(
+            np.array([2.0, 0.3, -0.1]), float(np.linalg.norm([2.0, 0.3, -0.1])),
+            np.array([0.5, 2.1, 0.4]), float(np.linalg.norm([0.5, 2.1, 0.4])), e,
+        )
+        # di is defined as -(dj+dk); the residual is pure reassociation
+        # roundoff, relative to the ~1e5 gradient magnitudes here
+        scale = max(np.max(np.abs(dj)), np.max(np.abs(dk)))
+        assert np.allclose(di + dj + dk, 0.0, atol=1e-9 * scale)

@@ -1,0 +1,114 @@
+"""Lennard-Jones baseline: analytic forces, shifts, mixing, list modes."""
+
+import numpy as np
+import pytest
+
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.lattice import diamond_lattice, perturbed
+from repro.md.neighbor import NeighborList, NeighborSettings
+from repro.md.pair_lj import LennardJones
+from repro.md.potential import finite_difference_forces
+
+
+def dimer(r, species=("Si",)):
+    x = np.array([[10.0, 10.0, 10.0], [10.0 + r, 10.0, 10.0]])
+    return AtomSystem(box=Box.cubic(30.0, periodic=False), x=x, species=species,
+                      mass=np.full(len(species), 28.0))
+
+
+def listed(system, cutoff, full=True):
+    nl = NeighborList(NeighborSettings(cutoff=cutoff, skin=0.5, full=full))
+    nl.build(system.x, system.box, brute_force=True)
+    return nl
+
+
+class TestEnergy:
+    def test_minimum_at_r_min(self):
+        lj = LennardJones(1.0, 1.0, cutoff=10.0)
+        r_min = 2.0 ** (1.0 / 6.0)
+        s = dimer(r_min)
+        res = lj.compute(s, listed(s, 10.0))
+        assert res.energy == pytest.approx(-1.0, rel=1e-12)
+        assert np.allclose(res.forces, 0.0, atol=1e-10)
+
+    def test_zero_at_sigma(self):
+        lj = LennardJones(1.0, 1.0, cutoff=10.0)
+        s = dimer(1.0)
+        assert lj.compute(s, listed(s, 10.0)).energy == pytest.approx(0.0, abs=1e-12)
+
+    def test_shift_zeroes_cutoff_energy(self):
+        lj = LennardJones(1.0, 1.0, cutoff=2.5, shift=True)
+        s = dimer(2.499999)
+        assert abs(lj.compute(s, listed(s, 2.5)).energy) < 1e-5
+
+    def test_beyond_cutoff_ignored(self):
+        lj = LennardJones(1.0, 1.0, cutoff=2.5)
+        s = dimer(2.6)
+        res = lj.compute(s, listed(s, 2.5))
+        assert res.energy == 0.0
+        assert np.all(res.forces == 0.0)
+
+
+class TestForces:
+    def test_repulsive_pushes_apart(self):
+        lj = LennardJones(1.0, 1.0, cutoff=5.0)
+        s = dimer(0.9)
+        f = lj.compute(s, listed(s, 5.0)).forces
+        assert f[0, 0] < 0 < f[1, 0]
+
+    def test_attractive_pulls_together(self):
+        lj = LennardJones(1.0, 1.0, cutoff=5.0)
+        s = dimer(1.5)
+        f = lj.compute(s, listed(s, 5.0)).forces
+        assert f[0, 0] > 0 > f[1, 0]
+
+    def test_finite_difference(self):
+        lj = LennardJones(0.01, 2.2, cutoff=5.0, shift=True)
+        s = perturbed(diamond_lattice(3, 3, 3), 0.1, seed=3)
+        nl = NeighborList(NeighborSettings(cutoff=5.0, skin=1.0, full=True))
+        nl.build(s.x, s.box)
+        res = lj.compute(s, nl)
+        fd = finite_difference_forces(lj, s, nl, atoms=np.arange(6))
+        assert np.max(np.abs(res.forces[:6] - fd)) < 1e-7
+
+    def test_momentum_conserved(self):
+        lj = LennardJones(0.01, 2.2, cutoff=5.0)
+        s = perturbed(diamond_lattice(3, 3, 3), 0.1, seed=4)
+        nl = NeighborList(NeighborSettings(cutoff=5.0, skin=1.0))
+        nl.build(s.x, s.box)
+        f = lj.compute(s, nl).forces
+        assert np.allclose(f.sum(axis=0), 0.0, atol=1e-11)
+
+
+class TestListModes:
+    def test_full_and_half_lists_agree(self):
+        lj_full = LennardJones(0.01, 2.2, cutoff=5.0)
+        lj_half = LennardJones(0.01, 2.2, cutoff=5.0)
+        s = perturbed(diamond_lattice(3, 3, 3), 0.1, seed=5)
+        r_full = lj_full.compute(s, listed(s, 5.0, full=True))
+        r_half = lj_half.compute(s, listed(s, 5.0, full=False))
+        assert r_full.energy == pytest.approx(r_half.energy, rel=1e-12)
+        assert np.allclose(r_full.forces, r_half.forces, atol=1e-10)
+        assert r_full.virial == pytest.approx(r_half.virial, rel=1e-12)
+
+
+class TestMixing:
+    def test_lorentz_berthelot(self):
+        lj = LennardJones.mixed(np.array([1.0, 4.0]), np.array([1.0, 3.0]), cutoff=10.0)
+        assert lj.epsilon[0, 1] == pytest.approx(2.0)
+        assert lj.sigma[0, 1] == pytest.approx(2.0)
+        assert lj.epsilon[0, 1] == lj.epsilon[1, 0]
+
+    def test_rejects_mismatched_matrices(self):
+        with pytest.raises(ValueError):
+            LennardJones(np.ones((2, 2)), np.ones((3, 3)), cutoff=1.0)
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            LennardJones(1.0, 1.0, cutoff=-1.0)
+
+    def test_virial_positive_when_compressed(self):
+        lj = LennardJones(1.0, 1.0, cutoff=5.0)
+        s = dimer(0.9)
+        assert lj.compute(s, listed(s, 5.0)).virial > 0.0

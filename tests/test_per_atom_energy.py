@@ -1,0 +1,63 @@
+"""Per-atom energy decomposition of the production solvers."""
+
+import numpy as np
+import pytest
+
+from conftest import build_list
+from repro.core.sw import StillingerWeberProduction, sw_silicon
+from repro.core.tersoff.parameters import tersoff_si
+from repro.core.tersoff.production import TersoffProduction
+from repro.md.lattice import diamond_lattice, perturbed
+
+
+class TestTersoffPerAtom:
+    def test_sums_to_total(self):
+        params = tersoff_si()
+        s = perturbed(diamond_lattice(2, 2, 2), 0.1, seed=51)
+        nl = build_list(s, params.max_cutoff)
+        res = TersoffProduction(params).compute(s, nl)
+        pa = res.stats["per_atom_energy"]
+        assert pa.shape == (s.n,)
+        assert float(pa.sum()) == pytest.approx(res.energy, rel=1e-10)
+
+    def test_uniform_on_perfect_crystal(self):
+        params = tersoff_si()
+        s = diamond_lattice(2, 2, 2)
+        nl = build_list(s, params.max_cutoff)
+        pa = TersoffProduction(params).compute(s, nl).stats["per_atom_energy"]
+        assert np.max(pa) - np.min(pa) < 1e-10
+        assert pa[0] == pytest.approx(-4.63, abs=0.02)
+
+    def test_vacancy_localizes_energy_deficit(self):
+        """Neighbors of a vacancy lose a bond: their site energy rises
+        (less negative) while the far bulk stays at the crystal value."""
+        params = tersoff_si()
+        perfect = diamond_lattice(3, 3, 3)
+        defect = perfect.select(np.arange(perfect.n) != 17)
+        nl = build_list(defect, params.max_cutoff)
+        res = TersoffProduction(params).compute(defect, nl)
+        pa = res.stats["per_atom_energy"]
+        # identify the 4 undercoordinated atoms
+        from repro.md.analysis import coordination_numbers
+
+        under = np.nonzero(coordination_numbers(defect, 2.7) == 3)[0]
+        bulk = np.nonzero(coordination_numbers(defect, 2.7) == 4)[0]
+        assert under.shape[0] == 4
+        assert float(pa[under].mean()) > float(pa[bulk].mean()) + 0.5
+
+
+class TestSWPerAtom:
+    def test_sums_to_total(self):
+        sw = sw_silicon()
+        s = perturbed(diamond_lattice(2, 2, 2), 0.1, seed=52)
+        nl = build_list(s, sw.cut)
+        res = StillingerWeberProduction(sw).compute(s, nl)
+        pa = res.stats["per_atom_energy"]
+        assert float(pa.sum()) == pytest.approx(res.energy, rel=1e-10)
+
+    def test_crystal_value(self):
+        sw = sw_silicon()
+        s = diamond_lattice(2, 2, 2)
+        nl = build_list(s, sw.cut)
+        pa = StillingerWeberProduction(sw).compute(s, nl).stats["per_atom_energy"]
+        assert pa[0] == pytest.approx(-4.3363, abs=0.01)

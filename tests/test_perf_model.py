@@ -1,0 +1,125 @@
+"""Performance model: stage composition, the ns/day metric, scaling
+behaviour, and the offload balance."""
+
+import numpy as np
+import pytest
+
+from repro.perf.machines import get_machine
+from repro.perf.model import KernelProfile, PerformanceModel, StepTime, halo_atoms_estimate
+from repro.perf.offload import OffloadModel, balanced_split
+
+
+def profile(mode="Opt-D", cycles=1000.0, width=4, isa="avx"):
+    return KernelProfile(mode=mode, isa=isa, scheme="1a",
+                         cycles_per_atom=cycles, utilization=1.0, width=width)
+
+
+class TestStepTime:
+    def test_total_and_metric(self):
+        st = StepTime(force=0.5, neighbor=0.2, integrate=0.2, comm=0.1)
+        assert st.total == pytest.approx(1.0)
+        # 1 s/step at 1 fs -> 0.0864 ns/day
+        assert st.ns_per_day(0.001) == pytest.approx(0.0864)
+        assert st.comm_fraction == pytest.approx(0.1)
+
+    def test_zero_total(self):
+        assert StepTime(0, 0, 0).ns_per_day() == float("inf")
+
+
+class TestForceTime:
+    def test_linear_in_atoms(self):
+        model = PerformanceModel(get_machine("SB"))
+        p = profile()
+        assert model.force_time(p, 2000) == pytest.approx(2 * model.force_time(p, 1000))
+
+    def test_ref_overhead_applied(self):
+        model = PerformanceModel(get_machine("SB"))
+        ref = profile(mode="Ref", width=1)
+        opt = profile(mode="Opt-D", width=1)
+        assert model.force_time(ref, 1000) == pytest.approx(
+            model.ref_overhead * model.force_time(opt, 1000))
+
+    def test_scalar_vs_vector_ipc(self):
+        machine = get_machine("SB")
+        model = PerformanceModel(machine)
+        scalar = profile(width=1)
+        vector = profile(width=4)
+        ratio = model.force_time(scalar, 1000) / model.force_time(vector, 1000)
+        assert ratio == pytest.approx(machine.ipc_vector / machine.ipc_scalar)
+
+    def test_more_cores_faster(self):
+        model = PerformanceModel(get_machine("HW"))
+        p = profile()
+        assert model.force_time(p, 10000, cores=24) < model.force_time(p, 10000, cores=1)
+
+    def test_accelerator_rate(self):
+        machine = get_machine("SB+KNC")
+        model = PerformanceModel(machine)
+        p = profile(width=8, isa="imci")
+        acc = machine.accelerators[0]
+        t = model.force_time(p, 100000, accelerator=acc)
+        expected = 100000 * 1000.0 / (acc.freq_ghz * 1e9 * acc.units * acc.ipc_vector)
+        assert t == pytest.approx(expected)
+
+
+class TestStepComposition:
+    def test_stages_positive(self):
+        model = PerformanceModel(get_machine("HW"))
+        st = model.step_time(profile(), 32000)
+        assert st.force > 0 and st.neighbor > 0 and st.integrate > 0
+
+    def test_neighbor_amortized_by_rebuild_interval(self):
+        m = get_machine("HW")
+        every_step = PerformanceModel(m, rebuild_interval=1)
+        amortized = PerformanceModel(m, rebuild_interval=10)
+        assert every_step.neighbor_time(1000) == pytest.approx(10 * amortized.neighbor_time(1000))
+
+    def test_comm_passthrough(self):
+        model = PerformanceModel(get_machine("HW"))
+        st = model.step_time(profile(), 1000, comm_s=0.5)
+        assert st.comm == 0.5
+
+
+class TestHaloEstimate:
+    def test_zero_for_empty(self):
+        assert halo_atoms_estimate(0, 4.0) == 0.0
+
+    def test_monotone_in_halo(self):
+        assert halo_atoms_estimate(1000, 5.0) > halo_atoms_estimate(1000, 3.0)
+
+    def test_sublinear_in_rank_size(self):
+        """Ghost fraction shrinks as bricks grow (surface-to-volume)."""
+        small = halo_atoms_estimate(1000, 4.0) / 1000
+        large = halo_atoms_estimate(100000, 4.0) / 100000
+        assert large < small
+
+
+class TestOffload:
+    def test_transfer_linear(self):
+        off = OffloadModel()
+        assert off.transfer_time(20000) > off.transfer_time(10000)
+        assert off.transfer_time(0) == 0.0
+
+    def test_balanced_split_properties(self):
+        frac, t = balanced_split(2e-9, 1e-9, 0.1e-9, 100000)
+        assert 0.0 < frac < 1.0
+        # faster device -> more than half the work on the device
+        assert frac > 0.5
+        # makespan beats host-only and device-only
+        assert t <= 2e-9 * 100000
+        assert t <= (1e-9 + 0.1e-9) * 100000 + 1.0
+
+    def test_all_on_device_when_no_host(self):
+        frac, t = balanced_split(0.0, 1e-9, 0.1e-9, 1000)
+        assert frac == 1.0 and t > 0
+
+    def test_zero_atoms(self):
+        assert balanced_split(1e-9, 1e-9, 0.0, 0) == (0.0, 0.0)
+
+    def test_split_balances_times(self):
+        th, td, tp = 2e-9, 0.5e-9, 0.1e-9
+        n = 1_000_000
+        frac, _ = balanced_split(th, td, tp, n, fixed_latency_s=0.0)
+        host = th * (1 - frac) * n
+        dev = (td + tp) * frac * n
+        assert host == pytest.approx(dev, rel=1e-9)

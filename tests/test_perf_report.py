@@ -1,0 +1,60 @@
+"""Cycle-breakdown reports over kernel statistics."""
+
+import numpy as np
+import pytest
+
+from conftest import build_list
+from repro.core.tersoff.parameters import tersoff_si
+from repro.core.tersoff.vectorized import TersoffVectorized
+from repro.md.lattice import diamond_lattice, perturbed
+from repro.perf.report import compare_profiles, cycle_breakdown, render_profile
+
+
+@pytest.fixture(scope="module")
+def kernel_run():
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(2, 2, 2), 0.1, seed=3)
+    nl = build_list(system, params.max_cutoff)
+    pot = TersoffVectorized(params, isa="imci", scheme="1b")
+    res = pot.compute(system, nl)
+    return res.stats["kernel_stats"], res.stats["width"]
+
+
+class TestBreakdown:
+    def test_accounts_most_cycles(self, kernel_run):
+        stats, width = kernel_run
+        breakdown = cycle_breakdown(stats, "imci", width=width)
+        accounted = sum(breakdown.values())
+        assert accounted == pytest.approx(stats.cycles, rel=0.15)
+
+    def test_transcendentals_hot(self, kernel_run):
+        """The Tersoff kernel is transcendental-heavy (fR, fA, zeta exp,
+        bond-order powers, the fC sin window): exp+trig+divide+sqrt must
+        carry a substantial share of the modeled cycles — the property
+        that makes the potential 'a good target for vectorization'
+        (Sec. III)."""
+        stats, width = kernel_run
+        breakdown = cycle_breakdown(stats, "imci", width=width)
+        total = sum(breakdown.values())
+        transcendental = sum(breakdown.get(k, 0.0) for k in ("exp", "trig", "divide", "sqrt"))
+        assert transcendental / total > 0.30
+
+    def test_conflict_scatters_width_scaled(self, kernel_run):
+        stats, width = kernel_run
+        imci = cycle_breakdown(stats, "imci", width=width)
+        avx512 = cycle_breakdown(stats, "avx512", width=width)
+        assert avx512["scatter_conflict"] < imci["scatter_conflict"]
+
+
+class TestRendering:
+    def test_render_contains_shares(self, kernel_run):
+        stats, width = kernel_run
+        text = render_profile(stats, "imci", width=width, label="opt-d 1b")
+        assert "cycle profile" in text and "%" in text and "opt-d 1b" in text
+        assert "spin iterations" in text
+
+    def test_compare_table(self, kernel_run):
+        stats, width = kernel_run
+        text = compare_profiles([("a", stats, "imci", width), ("b", stats, "imci", width)])
+        assert text.count("\n") == 2
+        assert "util" in text

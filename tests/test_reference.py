@@ -1,0 +1,145 @@
+"""Reference implementation (Algorithm 2): the numerical oracle.
+
+Validated directly against finite differences and physical invariants;
+every other implementation is validated against *it*.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import build_list, make_cluster
+from repro.core.tersoff.parameters import tersoff_si, tersoff_si_1988, tersoff_sic
+from repro.core.tersoff.reference import TersoffReference
+from repro.md.potential import finite_difference_forces
+
+
+class TestFiniteDifference:
+    @pytest.mark.parametrize("n,seed", [(3, 1), (5, 2), (7, 3)])
+    def test_si_cluster(self, n, seed):
+        params = tersoff_si()
+        pot = TersoffReference(params)
+        s = make_cluster(n, seed=seed)
+        nl = build_list(s, pot.cutoff, brute=True)
+        res = pot.compute(s, nl)
+        fd = finite_difference_forces(pot, s, nl, h=1e-6)
+        scale = max(np.max(np.abs(fd)), 1e-8)
+        assert np.max(np.abs(res.forces - fd)) / scale < 1e-5
+
+    def test_si_1988_parameterization(self):
+        pot = TersoffReference(tersoff_si_1988())
+        s = make_cluster(5, seed=4)
+        nl = build_list(s, pot.cutoff, brute=True)
+        res = pot.compute(s, nl)
+        fd = finite_difference_forces(pot, s, nl, h=1e-6)
+        scale = max(np.max(np.abs(fd)), 1e-8)
+        assert np.max(np.abs(res.forces - fd)) / scale < 1e-5
+
+    def test_sic_mixed_species(self):
+        params = tersoff_sic()
+        pot = TersoffReference(params)
+        types = np.array([0, 1, 0, 1, 0], dtype=np.int32)
+        s = make_cluster(5, species=("Si", "C"), types=types, seed=5, spread=1.9)
+        nl = build_list(s, pot.cutoff, brute=True)
+        res = pot.compute(s, nl)
+        fd = finite_difference_forces(pot, s, nl, h=1e-6)
+        scale = max(np.max(np.abs(fd)), 1e-8)
+        assert np.max(np.abs(res.forces - fd)) / scale < 1e-5
+
+    def test_periodic_lattice(self, si_params, si_lattice_222, si_neigh_222, si_reference_222):
+        pot = TersoffReference(si_params)
+        fd = finite_difference_forces(pot, si_lattice_222, si_neigh_222,
+                                      atoms=np.arange(3), h=1e-6)
+        assert np.max(np.abs(si_reference_222.forces[:3] - fd)) < 1e-5
+
+
+class TestInvariants:
+    def test_momentum_conservation(self, si_reference_222):
+        assert np.allclose(si_reference_222.forces.sum(axis=0), 0.0, atol=1e-10)
+
+    def test_translation_invariance(self, si_params):
+        pot = TersoffReference(si_params)
+        s = make_cluster(6, seed=6)
+        nl = build_list(s, pot.cutoff, brute=True)
+        e0 = pot.compute(s, nl).energy
+        s2 = s.copy()
+        s2.x += np.array([1.3, -0.7, 2.1])
+        nl2 = build_list(s2, pot.cutoff, brute=True)
+        assert pot.compute(s2, nl2).energy == pytest.approx(e0, rel=1e-12)
+
+    def test_rotation_invariance(self, si_params):
+        from scipy.spatial.transform import Rotation
+
+        pot = TersoffReference(si_params)
+        s = make_cluster(6, seed=7)
+        nl = build_list(s, pot.cutoff, brute=True)
+        e0 = pot.compute(s, nl).energy
+        rot = Rotation.from_euler("xyz", [0.3, -0.8, 1.2]).as_matrix()
+        s2 = s.copy()
+        center = s2.x.mean(axis=0)
+        s2.x = (s2.x - center) @ rot.T + center
+        nl2 = build_list(s2, pot.cutoff, brute=True)
+        assert pot.compute(s2, nl2).energy == pytest.approx(e0, rel=1e-10)
+
+    def test_permutation_invariance(self, si_params):
+        pot = TersoffReference(si_params)
+        s = make_cluster(6, seed=8)
+        nl = build_list(s, pot.cutoff, brute=True)
+        r0 = pot.compute(s, nl)
+        perm = np.random.default_rng(1).permutation(s.n)
+        s2 = s.copy()
+        s2.x = s2.x[perm]
+        nl2 = build_list(s2, pot.cutoff, brute=True)
+        r1 = pot.compute(s2, nl2)
+        assert r1.energy == pytest.approx(r0.energy, rel=1e-12)
+        assert np.allclose(r1.forces, r0.forces[perm], atol=1e-10)
+
+    def test_isolated_dimer_pure_pair(self, si_params):
+        """With no third atom, zeta = 0, b = 1: pure fC (fR + fA)."""
+        from repro.core.tersoff import functional as F
+
+        pot = TersoffReference(si_params)
+        s = make_cluster(2, seed=9, spread=2.3)
+        nl = build_list(s, pot.cutoff, brute=True)
+        res = pot.compute(s, nl)
+        r = float(np.linalg.norm(s.x[1] - s.x[0]))
+        e = si_params.entry(0, 0, 0)
+        if r <= e.cut:
+            expected = float(F.f_c(r, e.R, e.D) * (F.f_r(r, e.A, e.lam1) + F.f_a(r, e.B, e.lam2)))
+            assert res.energy == pytest.approx(expected, rel=1e-12)
+
+    def test_cohesive_energy_pristine_silicon(self, si_params):
+        """Pristine diamond Si with the Si(C) set: E/atom = -4.63 eV
+        (Tersoff PRB 38, 9902 fits the experimental cohesive energy)."""
+        from repro.md.lattice import diamond_lattice
+
+        pot = TersoffReference(si_params)
+        s = diamond_lattice(2, 2, 2)
+        nl = build_list(s, pot.cutoff)
+        res = pot.compute(s, nl)
+        assert res.energy / s.n == pytest.approx(-4.63, abs=0.02)
+
+    def test_skin_atoms_do_not_change_result(self, si_params):
+        """Same positions, bigger skin => more list entries, same physics."""
+        pot = TersoffReference(si_params)
+        s = make_cluster(6, seed=10)
+        r_small = pot.compute(s, build_list(s, pot.cutoff, skin=0.2, brute=True))
+        r_large = pot.compute(s, build_list(s, pot.cutoff, skin=3.0, brute=True))
+        assert r_small.energy == pytest.approx(r_large.energy, rel=1e-12)
+        assert np.allclose(r_small.forces, r_large.forces, atol=1e-12)
+
+    def test_species_mismatch_rejected(self, sic_params):
+        pot = TersoffReference(sic_params)
+        s = make_cluster(3, seed=11)  # species ("Si",)
+        nl = build_list(s, pot.cutoff, brute=True)
+        with pytest.raises(ValueError, match="species"):
+            pot.compute(s, nl)
+
+
+class TestStats:
+    def test_counts_reported(self, si_reference_222):
+        st = si_reference_222.stats
+        assert st["pairs_in_cutoff"] == 256  # 64 atoms x 4 bonded neighbors
+        assert st["triples_in_cutoff"] == 768  # 4 x 3 per atom
+        # Algorithm 2 evaluates zeta terms twice (both K loops)
+        assert st["zeta_evaluations"] == 2 * st["triples_in_cutoff"]
+        assert st["list_entries"] > st["pairs_in_cutoff"]  # skin atoms exist

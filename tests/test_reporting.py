@@ -1,0 +1,51 @@
+"""Result containers and text rendering."""
+
+import pytest
+
+from repro.harness.reporting import ExperimentResult, Series, format_table
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series(label="x", x=[1, 2], y=[1.0])
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert "empty" in format_table([])
+
+    def test_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 222, "b": "z"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "222" in lines[3]
+
+
+class TestExperimentResult:
+    def test_render_figure(self):
+        res = ExperimentResult(
+            exp_id="figX", title="demo",
+            series=[Series(label="L", x=[1, 2], y=[0.5, 1.0])],
+            paper={"speedup": 2.0}, measured={"speedup": 1.9},
+            notes="scaled",
+        )
+        text = res.render()
+        assert "figX" in text and "L:" in text
+        assert "paper=2" in text and "measured=1.9" in text
+        assert "scaled" in text
+
+    def test_render_table(self):
+        res = ExperimentResult(exp_id="t", title="tbl", rows=[{"Name": "WM"}])
+        assert "WM" in res.render()
+
+    def test_missing_measured_rendered_as_dash(self):
+        res = ExperimentResult(exp_id="t", title="x", paper={"k": 1.0})
+        assert "—" in res.render()
+
+    def test_tuple_band_formatting(self):
+        res = ExperimentResult(exp_id="t", title="x", paper={"band": (3.0, 4.0)},
+                               measured={"band": 3.5})
+        assert "[3, 4]" in res.render()

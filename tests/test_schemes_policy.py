@@ -1,0 +1,92 @@
+"""Execution-mode plumbing and the footnote 3-5 scheme policy."""
+
+import pytest
+
+from repro.core.schemes import (
+    MODES,
+    effective_width,
+    make_scalar_optimized,
+    make_solver,
+    mode_precision,
+    select_scheme,
+    supports_mode,
+)
+from repro.core.tersoff.optimized import TersoffOptimized
+from repro.core.tersoff.parameters import tersoff_si
+from repro.core.tersoff.production import TersoffProduction
+from repro.core.tersoff.reference import TersoffReference
+from repro.core.tersoff.vectorized import TersoffVectorized
+from repro.vector.precision import Precision
+
+
+class TestSchemePolicy:
+    def test_short_vectors_use_1a(self):
+        """Footnote 5: AVX/AVX2 double and SSE4.2 single -> (1a)."""
+        assert select_scheme("avx", "double") == "1a"
+        assert select_scheme("avx2", "double") == "1a"
+        assert select_scheme("sse4.2", "single") == "1a"
+
+    def test_long_vectors_use_1b(self):
+        assert select_scheme("avx", "single") == "1b"
+        assert select_scheme("imci", "double") == "1b"
+        assert select_scheme("imci", "mixed") == "1b"
+        assert select_scheme("avx512", "single") == "1b"
+
+    def test_cuda_uses_1c(self):
+        assert select_scheme("cuda", "double") == "1c"
+
+    def test_effective_width_fallbacks(self):
+        """Footnote 4: SSE4.2 double (W=2) runs the scalar back-end;
+        footnote 3: NEON double has no vectors at all."""
+        from repro.vector.isa import get_isa
+
+        assert effective_width(get_isa("sse4.2"), Precision.DOUBLE) == 1
+        assert effective_width(get_isa("neon"), Precision.DOUBLE) == 1
+        assert effective_width(get_isa("avx"), Precision.DOUBLE) == 4
+        assert effective_width(get_isa("cuda"), Precision.DOUBLE) == 32
+
+
+class TestModes:
+    def test_mode_list(self):
+        assert MODES == ("Ref", "Opt-D", "Opt-S", "Opt-M")
+
+    def test_mode_precision(self):
+        assert mode_precision("Opt-D") is Precision.DOUBLE
+        assert mode_precision("Opt-S") is Precision.SINGLE
+        assert mode_precision("Opt-M") is Precision.MIXED
+        with pytest.raises(ValueError):
+            mode_precision("Ref")
+
+    def test_neon_mode_support(self):
+        """Footnote 3: no NEON mixed mode; Opt-D exists (scalar)."""
+        assert supports_mode("neon", "Opt-D")
+        assert not supports_mode("neon", "Opt-M")
+        assert supports_mode("neon", "Ref")
+        assert supports_mode("avx2", "Opt-M")
+
+
+class TestMakeSolver:
+    def test_ref(self):
+        pot = make_solver(tersoff_si(), "Ref")
+        assert isinstance(pot, TersoffReference)
+
+    def test_opt_production_default(self):
+        pot = make_solver(tersoff_si(), "Opt-M")
+        assert isinstance(pot, TersoffProduction)
+        assert pot.precision is Precision.MIXED
+
+    def test_opt_lane_simulator(self):
+        pot = make_solver(tersoff_si(), "Opt-S", isa="imci", use_lane_simulator=True,
+                          scheme="1b", fast_forward=False)
+        assert isinstance(pot, TersoffVectorized)
+        assert pot.precision is Precision.SINGLE
+        assert pot.fast_forward is False
+
+    def test_vector_options_rejected_for_production(self):
+        with pytest.raises(ValueError, match="vector options"):
+            make_solver(tersoff_si(), "Opt-D", scheme="1b")
+
+    def test_scalar_optimized_builder(self):
+        pot = make_scalar_optimized(tersoff_si(), kmax=4)
+        assert isinstance(pot, TersoffOptimized)
+        assert pot.kmax == 4

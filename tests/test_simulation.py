@@ -1,0 +1,104 @@
+"""Simulation driver: timers, thermo sampling, reneighboring, NVE."""
+
+import numpy as np
+import pytest
+
+from repro.md.lattice import diamond_lattice, perturbed, seeded_velocities
+from repro.md.neighbor import NeighborSettings
+from repro.md.pair_lj import LennardJones
+from repro.md.simulation import Simulation, StageTimers
+from repro.md.units import ns_per_day
+
+
+def make_sim(steps_temp=300.0, dt=0.001, skin=1.0):
+    system = perturbed(diamond_lattice(3, 3, 3), 0.05, seed=1)
+    seeded_velocities(system, steps_temp, seed=2)
+    pot = LennardJones(0.015, 2.3, cutoff=5.0, shift=True)
+    return Simulation(system, pot, neighbor=NeighborSettings(cutoff=5.0, skin=skin, full=False), dt=dt)
+
+
+class TestRun:
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            make_sim().run(-1)
+
+    def test_zero_steps_still_samples(self):
+        res = make_sim().run(0)
+        assert res.steps == 0
+        assert len(res.thermo) >= 1
+
+    def test_thermo_sampling_interval(self):
+        res = make_sim().run(20, thermo_every=5)
+        steps = [t.step for t in res.thermo]
+        assert steps == [0, 5, 10, 15, 20]
+
+    def test_step_index_advances(self):
+        sim = make_sim()
+        sim.run(7)
+        sim.run(3)
+        assert sim.step_index == 10
+
+    def test_callback_invoked(self):
+        seen = []
+        make_sim().run(5, callback=lambda sim, step: seen.append(step))
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_timers_populate(self):
+        sim = make_sim()
+        res = sim.run(10)
+        assert res.timers.pair > 0
+        assert res.timers.neighbor > 0
+        assert res.timers.integrate > 0
+        assert res.timers.total > 0
+
+    def test_reneighboring_occurs_with_motion(self):
+        sim = make_sim(steps_temp=2000.0, skin=0.3)
+        res = sim.run(150)
+        assert res.neighbor_builds >= 2
+
+    def test_rejects_undersized_neighbor_cutoff(self):
+        system = diamond_lattice(3, 3, 3)
+        pot = LennardJones(0.01, 2.2, cutoff=5.0)
+        with pytest.raises(ValueError, match="below potential cutoff"):
+            Simulation(system, pot, neighbor=NeighborSettings(cutoff=4.0))
+
+
+class TestEnergyConservation:
+    def test_nve_drift_small(self):
+        sim = make_sim(steps_temp=300.0)
+        res = sim.run(200)
+        e0 = res.thermo[0].e_total
+        e1 = res.thermo[-1].e_total
+        scale = max(abs(e0), abs(res.thermo[0].e_kinetic))
+        assert abs(e1 - e0) / scale < 5e-3
+
+    def test_momentum_conserved_through_run(self):
+        sim = make_sim()
+        sim.run(50)
+        s = sim.system
+        p = (s.per_atom_mass()[:, None] * s.v).sum(axis=0)
+        assert np.allclose(p, 0.0, atol=1e-8)
+
+
+class TestStageTimers:
+    def test_total_sums(self):
+        t = StageTimers(pair=1.0, neighbor=0.5, integrate=0.25, comm=0.25)
+        assert t.total == 2.0
+        d = t.as_dict()
+        assert d["total"] == 2.0
+
+    def test_breakdown_format(self):
+        t = StageTimers(pair=1.0)
+        text = t.breakdown()
+        assert "pair" in text and "%" in text
+
+
+class TestMetric:
+    def test_ns_per_day(self):
+        # 1 fs steps at 1000 steps/s -> 86.4 ns/day
+        assert ns_per_day(0.001, 1000.0) == pytest.approx(86.4)
+
+    def test_run_result_metric(self):
+        res = make_sim().run(10)
+        v = res.ns_per_day(0.001)
+        assert v > 0 and np.isfinite(v)

@@ -1,0 +1,66 @@
+"""Extension sweeps: skin tradeoff and width scaling."""
+
+import pytest
+
+from repro.harness.sweeps import skin_sweep, width_sweep
+
+
+class TestSkinSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return skin_sweep(skins=(0.3, 1.0, 2.0), steps=80)
+
+    def test_bigger_skin_fewer_rebuilds(self, result):
+        rows = {r["skin"]: r for r in result.rows}
+        assert rows[0.3]["rebuilds"] > rows[2.0]["rebuilds"]
+
+    def test_bigger_skin_more_list_entries(self, result):
+        rows = {r["skin"]: r for r in result.rows}
+        assert rows[2.0]["list_entries_per_atom"] > rows[0.3]["list_entries_per_atom"]
+
+    def test_bigger_skin_lower_filter_efficiency(self, result):
+        rows = {r["skin"]: r for r in result.rows}
+        assert rows[2.0]["filter_efficiency"] < rows[0.3]["filter_efficiency"]
+
+    def test_bigger_skin_more_kernel_spin(self, result):
+        """The Sec. IV-C cost of skin atoms, measured."""
+        rows = {r["skin"]: r for r in result.rows}
+        assert rows[2.0]["spin_iterations"] > rows[0.3]["spin_iterations"]
+
+    def test_renders(self, result):
+        assert "skin" in result.render()
+
+
+class TestWidthSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return width_sweep()
+
+    def test_wider_fewer_invocations(self, result):
+        by_width = {}
+        for r in result.rows:
+            by_width.setdefault(r["W"], r)
+        widths = sorted(by_width)
+        assert len(widths) >= 3
+        invocations = [by_width[w]["kernel_invocations"] for w in widths]
+        assert all(b <= a for a, b in zip(invocations, invocations[1:]))
+
+    def test_all_widths_present(self, result):
+        widths = {r["W"] for r in result.rows}
+        assert {4, 8, 16, 32} <= widths
+
+
+class TestWeakScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.harness.sweeps import weak_scaling
+
+        return weak_scaling()
+
+    def test_efficiency_stays_high(self, result):
+        effs = [r["efficiency"] for r in result.rows]
+        assert all(e > 0.85 for e in effs)
+
+    def test_step_time_roughly_constant(self, result):
+        steps = [r["step_ms"] for r in result.rows]
+        assert max(steps) / min(steps) < 1.3

@@ -1,0 +1,98 @@
+"""Crystal-symmetry properties of the force fields.
+
+The diamond lattice's cubic point group gives exact expectations for
+how energies and forces must transform — an end-to-end invariance check
+independent of any reference implementation."""
+
+import numpy as np
+import pytest
+
+from conftest import build_list
+from repro.core.sw import StillingerWeberProduction, sw_silicon
+from repro.core.tersoff.parameters import tersoff_si
+from repro.core.tersoff.production import TersoffProduction
+from repro.md.atoms import AtomSystem
+from repro.md.lattice import diamond_lattice, perturbed
+
+
+def rotated_system(system, rot):
+    """Rotate a cubic-cell system by an axis-permutation matrix."""
+    x = system.x @ rot.T
+    box = system.box
+    # axis permutations/reflections map the cube onto itself; re-wrap
+    new = AtomSystem(box=box, x=x, type=system.type.copy(),
+                     species=system.species, mass=system.mass.copy())
+    new.wrap()
+    return new
+
+
+# proper rotations of the cube that are plain axis permutations/signs
+ROTATIONS = [
+    np.array([[0, -1, 0], [1, 0, 0], [0, 0, 1]], dtype=float),  # 90 deg about z
+    np.array([[1, 0, 0], [0, 0, -1], [0, 1, 0]], dtype=float),  # 90 deg about x
+    np.array([[0, 0, 1], [1, 0, 0], [0, 1, 0]], dtype=float),  # 120 deg about [111]
+    np.array([[-1, 0, 0], [0, -1, 0], [0, 0, 1]], dtype=float),  # 180 deg about z
+]
+
+
+@pytest.fixture(scope="module")
+def disturbed():
+    return perturbed(diamond_lattice(2, 2, 2), 0.12, seed=91)
+
+
+class TestCubicInvariance:
+    @pytest.mark.parametrize("rot_idx", range(len(ROTATIONS)))
+    def test_tersoff_energy_invariant_forces_covariant(self, disturbed, rot_idx):
+        rot = ROTATIONS[rot_idx]
+        params = tersoff_si()
+        pot = TersoffProduction(params)
+        nl = build_list(disturbed, params.max_cutoff)
+        base = pot.compute(disturbed, nl)
+        rotated = rotated_system(disturbed, rot)
+        nl_r = build_list(rotated, params.max_cutoff)
+        res = pot.compute(rotated, nl_r)
+        assert res.energy == pytest.approx(base.energy, rel=1e-11)
+        # forces rotate with the configuration
+        assert np.max(np.abs(res.forces - base.forces @ rot.T)) < 1e-9
+
+    def test_sw_energy_invariant(self, disturbed):
+        sw = sw_silicon()
+        pot = StillingerWeberProduction(sw)
+        nl = build_list(disturbed, sw.cut)
+        base = pot.compute(disturbed, nl)
+        rot = ROTATIONS[2]
+        rotated = rotated_system(disturbed, rot)
+        nl_r = build_list(rotated, sw.cut)
+        res = pot.compute(rotated, nl_r)
+        assert res.energy == pytest.approx(base.energy, rel=1e-11)
+
+    def test_inversion_symmetry(self, disturbed):
+        """Diamond has inversion centers: x -> -x maps the structure to
+        itself, so energy is invariant and forces flip sign."""
+        params = tersoff_si()
+        pot = TersoffProduction(params)
+        nl = build_list(disturbed, params.max_cutoff)
+        base = pot.compute(disturbed, nl)
+        inverted = AtomSystem(box=disturbed.box, x=-disturbed.x,
+                              type=disturbed.type.copy(),
+                              species=disturbed.species, mass=disturbed.mass.copy())
+        inverted.wrap()
+        nl_i = build_list(inverted, params.max_cutoff)
+        res = pot.compute(inverted, nl_i)
+        assert res.energy == pytest.approx(base.energy, rel=1e-11)
+        assert np.max(np.abs(res.forces + base.forces)) < 1e-9
+
+    def test_supercell_translation(self):
+        """Shifting the crystal by one full lattice vector is a no-op."""
+        params = tersoff_si()
+        pot = TersoffProduction(params)
+        s = perturbed(diamond_lattice(2, 2, 2), 0.1, seed=92)
+        nl = build_list(s, params.max_cutoff)
+        base = pot.compute(s, nl)
+        shifted = s.copy()
+        shifted.x += np.array([5.431, 0.0, 0.0])
+        shifted.wrap()
+        nl_s = build_list(shifted, params.max_cutoff)
+        res = pot.compute(shifted, nl_s)
+        assert res.energy == pytest.approx(base.energy, rel=1e-12)
+        assert np.max(np.abs(res.forces - base.forces)) < 1e-10

@@ -1,0 +1,106 @@
+"""End-to-end Tersoff MD: NVE conservation, precision-mode trajectories,
+and linearity of the lane-simulator statistics in system size."""
+
+import numpy as np
+import pytest
+
+from repro.core.tersoff.parameters import tersoff_si
+from repro.core.tersoff.production import TersoffProduction
+from repro.core.tersoff.vectorized import TersoffVectorized
+from repro.md.lattice import diamond_lattice, perturbed, seeded_velocities
+from repro.md.neighbor import NeighborList, NeighborSettings
+from repro.md.simulation import Simulation
+
+
+def make_sim(precision="double", cells=(2, 2, 2), temp=600.0, seed=21):
+    params = tersoff_si()
+    system = diamond_lattice(*cells)
+    seeded_velocities(system, temp, seed=seed)
+    pot = TersoffProduction(params, precision=precision)
+    return Simulation(system, pot, neighbor=NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+
+
+class TestNVE:
+    def test_energy_conservation(self):
+        sim = make_sim()
+        res = sim.run(200, thermo_every=10)
+        e = np.array([t.e_total for t in res.thermo])
+        # total energy fluctuates on the shadow Hamiltonian at finite dt;
+        # what must stay tiny is the band of those fluctuations
+        band = (e.max() - e.min()) / abs(e[0])
+        assert band < 5e-5, f"NVE energy band {band}"
+        late_drift = abs(e[-1] - e[len(e) // 2]) / abs(e[0])
+        assert late_drift < 2e-5, f"NVE late drift {late_drift}"
+
+    def test_momentum_conserved(self):
+        sim = make_sim()
+        sim.run(100)
+        s = sim.system
+        p = (s.per_atom_mass()[:, None] * s.v).sum(axis=0)
+        assert np.allclose(p, 0.0, atol=1e-7)
+
+    def test_equipartition_half_temperature(self):
+        """Starting from a perfect lattice at T0, half the kinetic energy
+        converts to potential: T settles near T0/2."""
+        sim = make_sim(temp=800.0)
+        res = sim.run(400, thermo_every=20)
+        temps = [t.temperature for t in res.thermo[-8:]]
+        assert 200.0 < float(np.mean(temps)) < 650.0
+
+    def test_single_precision_runs_stable(self):
+        sim = make_sim(precision="single")
+        res = sim.run(150)
+        e = np.array([t.e_total for t in res.thermo])
+        assert np.isfinite(e).all()
+        assert abs(e[-1] - e[0]) / abs(e[0]) < 1e-3
+
+    def test_single_vs_double_trajectories_close(self):
+        """The Fig. 3 experiment in miniature."""
+        sd = make_sim(precision="double")
+        ss = make_sim(precision="single")
+        rd = sd.run(100, thermo_every=50)
+        rs = ss.run(100, thermo_every=50)
+        for td, ts in zip(rd.thermo, rs.thermo):
+            assert abs(ts.e_total - td.e_total) / abs(td.e_total) < 1e-4
+
+
+class TestVectorizedInSimulation:
+    def test_lane_simulator_drives_md(self):
+        """The lane-faithful solver is a drop-in Potential."""
+        params = tersoff_si()
+        system = diamond_lattice(2, 2, 2)
+        seeded_velocities(system, 300.0, seed=3)
+        pot = TersoffVectorized(params, isa="imci", scheme="1b")
+        sim = Simulation(system, pot, neighbor=NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+        res = sim.run(20)
+        e = [t.e_total for t in res.thermo]
+        assert abs(e[-1] - e[0]) / abs(e[0]) < 5e-5
+
+
+class TestLinearScaling:
+    def test_cycles_linear_in_atoms(self):
+        """The harness scales measured stats linearly to the paper's atom
+        counts; verify linearity on the homogeneous lattice."""
+        params = tersoff_si()
+        cycles = {}
+        for cells in ((2, 2, 2), (4, 4, 4)):
+            s = perturbed(diamond_lattice(*cells), 0.05, seed=2)
+            nl = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+            nl.build(s.x, s.box)
+            pot = TersoffVectorized(params, isa="imci", scheme="1b")
+            res = pot.compute(s, nl)
+            cycles[s.n] = res.stats["cycles"]
+        per_atom = {n: c / n for n, c in cycles.items()}
+        values = list(per_atom.values())
+        assert values[0] == pytest.approx(values[1], rel=0.05)
+
+    def test_utilization_size_independent(self):
+        params = tersoff_si()
+        utils = []
+        for cells in ((2, 2, 2), (3, 3, 3)):
+            s = perturbed(diamond_lattice(*cells), 0.05, seed=2)
+            nl = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+            nl.build(s.x, s.box)
+            res = TersoffVectorized(params, isa="imci", scheme="1b").compute(s, nl)
+            utils.append(res.stats["utilization"])
+        assert utils[0] == pytest.approx(utils[1], abs=0.05)

@@ -1,0 +1,52 @@
+"""Thermodynamic observables."""
+
+import numpy as np
+import pytest
+
+from repro.md.atoms import AtomSystem
+from repro.md.box import Box
+from repro.md.lattice import diamond_lattice, seeded_velocities
+from repro.md.thermo import ThermoSample, kinetic_energy, maxwell_sigma, pressure, sample, temperature
+from repro.md.units import BOLTZMANN, MVV2E, NKTV2P
+
+
+class TestObservables:
+    def test_kinetic_matches_system(self):
+        s = diamond_lattice(2, 2, 2)
+        seeded_velocities(s, 450.0, seed=1)
+        assert kinetic_energy(s) == pytest.approx(s.kinetic_energy())
+        assert temperature(s) == pytest.approx(450.0)
+
+    def test_ideal_gas_pressure(self):
+        """With zero virial, P V = (2/3) KE (in bar via nktv2p)."""
+        s = diamond_lattice(2, 2, 2)
+        seeded_velocities(s, 300.0, seed=2)
+        p = pressure(s, 0.0)
+        expected = 2.0 * s.kinetic_energy() / (3.0 * s.box.volume) * NKTV2P
+        assert p == pytest.approx(expected)
+
+    def test_pressure_accepts_tensor(self):
+        s = diamond_lattice(1, 1, 1)
+        w = np.diag([3.0, 3.0, 3.0])
+        assert pressure(s, w) == pytest.approx(pressure(s, 9.0))
+
+    def test_maxwell_sigma(self):
+        sig = maxwell_sigma(np.array([28.0855]), 300.0)
+        assert sig[0] == pytest.approx(np.sqrt(BOLTZMANN * 300.0 / (28.0855 * MVV2E)))
+
+
+class TestSample:
+    def test_sample_contents(self):
+        s = diamond_lattice(2, 2, 2)
+        seeded_velocities(s, 100.0, seed=3)
+        t = sample(s, step=42, time_ps=0.042, e_potential=-10.0)
+        assert t.step == 42
+        assert t.e_total == pytest.approx(t.e_kinetic - 10.0)
+        assert t.temperature == pytest.approx(100.0)
+
+    def test_row_formatting(self):
+        t = ThermoSample(step=1, time_ps=0.001, temperature=300.0,
+                         e_kinetic=1.0, e_potential=-2.0, e_total=-1.0)
+        header = ThermoSample.format_header()
+        row = t.format_row()
+        assert len(header.split()) == len(row.split())

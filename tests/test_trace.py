@@ -1,0 +1,85 @@
+"""K-loop lane tracing (the Fig. 2 machinery)."""
+
+import numpy as np
+import pytest
+
+from conftest import build_list
+from repro.core.tersoff.parameters import tersoff_si
+from repro.core.tersoff.trace import COMPUTE, DONE, READY, SPIN, KLoopTrace, frame_from_masks
+from repro.core.tersoff.vectorized import TersoffVectorized
+from repro.md.lattice import diamond_lattice, perturbed
+
+
+@pytest.fixture(scope="module")
+def traced_runs():
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(2, 2, 2), 0.1, seed=3)
+    nl = build_list(system, params.max_cutoff)
+    out = {}
+    for ff in (False, True):
+        pot = TersoffVectorized(params, isa="imci", precision="single", scheme="1b",
+                                fast_forward=ff, filter_neighbors=False, trace_register=0)
+        pot.compute(system, nl)
+        out[ff] = pot.last_trace
+    return out
+
+
+class TestKLoopTrace:
+    def test_frame_width_validated(self):
+        t = KLoopTrace(width=4)
+        with pytest.raises(ValueError):
+            t.add_frame("CCC")
+
+    def test_frame_encoding(self):
+        frame = frame_from_masks(
+            computed=np.array([True, False, False, False]),
+            ready=np.array([True, True, False, False]),
+            exhausted=np.array([False, False, False, True]),
+            valid=np.array([True, True, True, True]),
+        )
+        assert frame == COMPUTE + READY + SPIN + DONE
+
+    def test_occupancy_math(self):
+        t = KLoopTrace(width=4)
+        t.add_frame("CC..")
+        t.add_frame("....")
+        t.add_frame("CCCC")
+        assert t.kernel_invocations == 2
+        assert t.compute_occupancy == pytest.approx(6 / 8)
+
+
+class TestTracedSweep:
+    def test_fig2_contrast(self, traced_runs):
+        naive, ff = traced_runs[False], traced_runs[True]
+        # the paper's visual claim in numbers
+        assert ff.compute_occupancy > 0.95
+        assert naive.compute_occupancy < 0.6
+        assert ff.kernel_invocations < naive.kernel_invocations
+        # fast-forwarding shows ready-idle lanes, the naive walk never does
+        assert any(READY in f for f in ff.frames)
+        assert not any(READY in f for f in naive.frames)
+
+    def test_spin_frames_present_without_filtering(self, traced_runs):
+        assert any(SPIN in f for f in traced_runs[True].frames)
+
+    def test_render(self, traced_runs):
+        text = traced_runs[True].render(title="demo")
+        assert "lanes 0..15" in text and "occupancy" in text
+
+    def test_no_trace_by_default(self):
+        params = tersoff_si()
+        system = perturbed(diamond_lattice(2, 2, 2), 0.1, seed=3)
+        nl = build_list(system, params.max_cutoff)
+        pot = TersoffVectorized(params, isa="imci", scheme="1b")
+        pot.compute(system, nl)
+        assert pot.last_trace is None
+
+    def test_tracing_does_not_change_numbers(self):
+        params = tersoff_si()
+        system = perturbed(diamond_lattice(2, 2, 2), 0.1, seed=3)
+        nl = build_list(system, params.max_cutoff)
+        plain = TersoffVectorized(params, isa="imci", scheme="1b").compute(system, nl)
+        traced = TersoffVectorized(params, isa="imci", scheme="1b",
+                                   trace_register=0).compute(system, nl)
+        assert traced.energy == plain.energy
+        assert np.array_equal(traced.forces, plain.forces)

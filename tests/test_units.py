@@ -1,0 +1,38 @@
+"""Metal unit system constants and conversions."""
+
+import pytest
+
+from repro.md import units
+
+
+class TestConstants:
+    def test_boltzmann_metal(self):
+        assert units.BOLTZMANN == pytest.approx(8.617343e-5)
+
+    def test_mvv2e_ftm2v_reciprocal(self):
+        assert units.MVV2E * units.FTM2V == pytest.approx(1.0)
+
+    def test_silicon_lattice_constant(self):
+        assert units.SILICON_LATTICE_CONSTANT == pytest.approx(5.431)
+
+    def test_atomic_masses(self):
+        assert units.ATOMIC_MASS["Si"] == pytest.approx(28.0855)
+        assert units.ATOMIC_MASS["C"] == pytest.approx(12.0107)
+        assert units.ATOMIC_MASS["Ge"] == pytest.approx(72.64)
+
+
+class TestConversions:
+    def test_femtoseconds(self):
+        assert units.femtoseconds(1.0) == pytest.approx(0.001)
+        assert units.DEFAULT_TIMESTEP_PS == units.femtoseconds(1.0)
+
+    def test_ns_per_day(self):
+        # 1 fs steps at 11.574 steps/s -> 1 ns/day
+        assert units.ns_per_day(0.001, 1.0e6 / 86400.0) == pytest.approx(1.0)
+
+    def test_thermal_velocity_scale(self):
+        """Si at 300 K: v_rms = sqrt(3 kT/m) ~ 517 m/s ~ 5.2 A/ps."""
+        import numpy as np
+
+        v = np.sqrt(3 * units.BOLTZMANN * 300.0 / (28.0855 * units.MVV2E))
+        assert v == pytest.approx(5.17, abs=0.1)

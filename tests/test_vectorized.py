@@ -1,0 +1,153 @@
+"""The vectorized solver: every scheme x ISA must reproduce the
+reference bit-tightly; the Sec. IV-C/IV-D options and kmax fallback
+must not change the numbers; the statistics must behave as the paper
+describes."""
+
+import numpy as np
+import pytest
+
+from conftest import build_list, make_cluster
+from repro.core.tersoff.parameters import tersoff_si, tersoff_sic
+from repro.core.tersoff.reference import TersoffReference
+from repro.core.tersoff.vectorized import TersoffVectorized
+
+SCHEME_ISA = [
+    ("1a", "sse4.2"),
+    ("1a", "avx"),
+    ("1a", "avx2"),
+    ("1b", "avx"),
+    ("1b", "avx2"),
+    ("1b", "imci"),
+    ("1b", "avx512"),
+    ("1c", "cuda"),
+    ("1c", "imci"),
+]
+
+
+class TestEqualityWithReference:
+    @pytest.mark.parametrize("scheme,isa", SCHEME_ISA)
+    def test_lattice(self, scheme, isa, si_params, si_lattice_222, si_neigh_222, si_reference_222):
+        pot = TersoffVectorized(si_params, isa=isa, scheme=scheme)
+        res = pot.compute(si_lattice_222, si_neigh_222)
+        assert res.energy == pytest.approx(si_reference_222.energy, rel=1e-12)
+        assert np.max(np.abs(res.forces - si_reference_222.forces)) < 1e-11
+        assert res.virial == pytest.approx(si_reference_222.virial, rel=1e-9)
+
+    @pytest.mark.parametrize("scheme,isa", [("1a", "avx"), ("1b", "imci"), ("1c", "cuda")])
+    def test_multi_species(self, scheme, isa, sic_params, sic_lattice, sic_neigh, sic_reference):
+        pot = TersoffVectorized(sic_params, isa=isa, scheme=scheme, kmax=6)
+        res = pot.compute(sic_lattice, sic_neigh)
+        assert res.energy == pytest.approx(sic_reference.energy, rel=1e-11)
+        assert np.max(np.abs(res.forces - sic_reference.forces)) < 1e-10
+
+    @pytest.mark.parametrize("scheme,isa", [("1a", "avx"), ("1b", "imci"), ("1c", "cuda")])
+    def test_irregular_cluster(self, scheme, isa):
+        """Non-uniform neighbor counts stress the masking/cursor logic."""
+        params = tersoff_si()
+        s = make_cluster(13, seed=40)
+        nl = build_list(s, params.max_cutoff, brute=True)
+        r_ref = TersoffReference(params).compute(s, nl)
+        res = TersoffVectorized(params, isa=isa, scheme=scheme).compute(s, nl)
+        assert res.energy == pytest.approx(r_ref.energy, rel=1e-11, abs=1e-12)
+        assert np.max(np.abs(res.forces - r_ref.forces)) < 1e-10
+
+    def test_empty_system(self, si_params):
+        s = make_cluster(2, seed=41, spread=8.0, min_sep=6.0)
+        nl = build_list(s, si_params.max_cutoff, brute=True)
+        res = TersoffVectorized(si_params, isa="imci", scheme="1b").compute(s, nl)
+        assert res.energy == 0.0
+
+
+class TestOptions:
+    @pytest.mark.parametrize("fast_forward", [True, False])
+    @pytest.mark.parametrize("filter_neighbors", [True, False])
+    def test_options_do_not_change_numbers(self, fast_forward, filter_neighbors,
+                                           si_params, si_lattice_222, si_neigh_222, si_reference_222):
+        pot = TersoffVectorized(si_params, isa="imci", scheme="1b",
+                                fast_forward=fast_forward, filter_neighbors=filter_neighbors)
+        res = pot.compute(si_lattice_222, si_neigh_222)
+        assert res.energy == pytest.approx(si_reference_222.energy, rel=1e-12)
+        assert np.max(np.abs(res.forces - si_reference_222.forces)) < 1e-11
+
+    @pytest.mark.parametrize("scheme,isa", [("1a", "avx"), ("1b", "imci"), ("1c", "cuda")])
+    @pytest.mark.parametrize("kmax", [1, 2, 16])
+    def test_kmax_fallback_exact(self, scheme, isa, kmax,
+                                 si_params, si_lattice_222, si_neigh_222, si_reference_222):
+        pot = TersoffVectorized(si_params, isa=isa, scheme=scheme, kmax=kmax)
+        res = pot.compute(si_lattice_222, si_neigh_222)
+        assert res.energy == pytest.approx(si_reference_222.energy, rel=1e-12)
+        assert np.max(np.abs(res.forces - si_reference_222.forces)) < 1e-10
+        assert res.virial == pytest.approx(si_reference_222.virial, rel=1e-8)
+
+    def test_rejects_bad_scheme(self, si_params):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            TersoffVectorized(si_params, scheme="2z")
+
+    def test_rejects_bad_kmax(self, si_params):
+        with pytest.raises(ValueError, match="kmax"):
+            TersoffVectorized(si_params, kmax=0)
+
+    def test_auto_scheme_resolves(self, si_params):
+        pot = TersoffVectorized(si_params, isa="imci", precision="single", scheme="auto")
+        assert pot.scheme == "1b"
+        pot2 = TersoffVectorized(si_params, isa="avx", precision="double", scheme="auto")
+        assert pot2.scheme == "1a"
+        pot3 = TersoffVectorized(si_params, isa="cuda", scheme="auto")
+        assert pot3.scheme == "1c"
+
+
+class TestPrecision:
+    @pytest.mark.parametrize("precision", ["single", "mixed"])
+    def test_reduced_precision_close(self, precision, si_params, si_lattice_222,
+                                     si_neigh_222, si_reference_222):
+        pot = TersoffVectorized(si_params, isa="imci", scheme="1b", precision=precision)
+        res = pot.compute(si_lattice_222, si_neigh_222)
+        assert abs(res.energy - si_reference_222.energy) / abs(si_reference_222.energy) < 1e-5
+
+    def test_single_doubles_lanes(self, si_params):
+        pd = TersoffVectorized(si_params, isa="imci", precision="double")
+        ps = TersoffVectorized(si_params, isa="imci", precision="single")
+        assert ps.backend.width == 2 * pd.backend.width
+
+
+class TestStatistics:
+    def test_fast_forward_beats_naive_utilization(self, si_params, si_lattice_222, si_neigh_222):
+        naive = TersoffVectorized(si_params, isa="imci", precision="single", scheme="1b",
+                                  fast_forward=False, filter_neighbors=False)
+        ff = TersoffVectorized(si_params, isa="imci", precision="single", scheme="1b",
+                               fast_forward=True, filter_neighbors=False)
+        r_naive = naive.compute(si_lattice_222, si_neigh_222)
+        r_ff = ff.compute(si_lattice_222, si_neigh_222)
+        assert r_ff.stats["utilization"] > r_naive.stats["utilization"]
+        assert r_ff.stats["kernel_invocations"] < r_naive.stats["kernel_invocations"]
+        assert r_ff.stats["spin_iterations"] > 0
+        assert r_naive.stats["spin_iterations"] == 0
+
+    def test_filtering_reduces_spin(self, si_params, si_lattice_222, si_neigh_222):
+        """Sec. IV-D: pre-filtering the list shrinks the fast-forward work."""
+        unfiltered = TersoffVectorized(si_params, isa="imci", scheme="1b",
+                                       filter_neighbors=False)
+        filtered = TersoffVectorized(si_params, isa="imci", scheme="1b",
+                                     filter_neighbors=True)
+        r_u = unfiltered.compute(si_lattice_222, si_neigh_222)
+        r_f = filtered.compute(si_lattice_222, si_neigh_222)
+        assert r_f.stats["spin_iterations"] < r_u.stats["spin_iterations"]
+        assert r_f.stats["cycles"] < r_u.stats["cycles"]
+
+    def test_conflict_detection_cheaper_scatters(self, si_params, si_lattice_222, si_neigh_222):
+        """AVX-512CD makes the 1b conflict writes cheaper than IMCI's
+        serialized ones (Sec. IV-B outlook / V-A (3))."""
+        imci = TersoffVectorized(si_params, isa="imci", scheme="1b").compute(si_lattice_222, si_neigh_222)
+        avx512 = TersoffVectorized(si_params, isa="avx512", scheme="1b").compute(si_lattice_222, si_neigh_222)
+        assert avx512.stats["cycles"] < imci.stats["cycles"]
+
+    def test_wider_vectors_fewer_invocations(self, si_params, si_lattice_222, si_neigh_222):
+        narrow = TersoffVectorized(si_params, isa="avx2", scheme="1b").compute(si_lattice_222, si_neigh_222)
+        wide = TersoffVectorized(si_params, isa="imci", scheme="1b").compute(si_lattice_222, si_neigh_222)
+        assert wide.stats["kernel_invocations"] < narrow.stats["kernel_invocations"]
+
+    def test_counter_resets_between_calls(self, si_params, si_lattice_222, si_neigh_222):
+        pot = TersoffVectorized(si_params, isa="imci", scheme="1b")
+        a = pot.compute(si_lattice_222, si_neigh_222).stats["cycles"]
+        b = pot.compute(si_lattice_222, si_neigh_222).stats["cycles"]
+        assert a == b
