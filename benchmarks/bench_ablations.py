@@ -13,22 +13,21 @@ measures the modelled-cycle consequence on the lane-faithful backend:
   multi-species workload, where parameter gathers actually occur).
 """
 
-import numpy as np
 import pytest
 
 from repro.core.tersoff.parameters import tersoff_si, tersoff_sic
 from repro.core.tersoff.vectorized import TersoffVectorized
 from repro.md.lattice import diamond_lattice, perturbed, zincblende_sic
 from repro.md.neighbor import NeighborList, NeighborSettings
+from repro.perf.suite import si_workload as _suite_si_workload
+
+pytestmark = pytest.mark.bench
 
 
 @pytest.fixture(scope="module")
 def si_workload():
-    params = tersoff_si()
-    system = perturbed(diamond_lattice(4, 4, 4), 0.1, seed=4)
-    neigh = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
-    neigh.build(system.x, system.box)
-    return params, system, neigh
+    # Same builder the `repro bench` masking/ablation cases use.
+    return _suite_si_workload(4, seed=4)
 
 
 def cycles(params, system, neigh, **options):

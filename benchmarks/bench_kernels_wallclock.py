@@ -12,29 +12,24 @@ import numpy as np
 import pytest
 
 from repro.core.tersoff.optimized import TersoffOptimized
-from repro.core.tersoff.parameters import tersoff_si
 from repro.core.tersoff.production import TersoffProduction
 from repro.core.tersoff.reference import TersoffReference
-from repro.md.lattice import diamond_lattice, perturbed
 from repro.md.neighbor import NeighborList, NeighborSettings
+from repro.perf.suite import si_workload
+
+pytestmark = pytest.mark.bench
 
 
 @pytest.fixture(scope="module")
 def workload():
-    params = tersoff_si()
-    system = perturbed(diamond_lattice(2, 2, 2), 0.1, seed=1)
-    neigh = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
-    neigh.build(system.x, system.box)
-    return params, system, neigh
+    # Shared with the `repro bench` suite (kernel/*-64 cases), so the
+    # pytest benches and the regression gate time identical work.
+    return si_workload(2)
 
 
 @pytest.fixture(scope="module")
 def big_workload():
-    params = tersoff_si()
-    system = perturbed(diamond_lattice(8, 8, 8), 0.1, seed=2)  # 4096 atoms
-    neigh = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
-    neigh.build(system.x, system.box)
-    return params, system, neigh
+    return si_workload(8, seed=2)  # 4096 atoms
 
 
 @pytest.mark.benchmark(group="wallclock-64atoms")
@@ -61,6 +56,7 @@ def test_production_wallclock(benchmark, workload):
     assert res.energy < 0
 
 
+@pytest.mark.slow
 @pytest.mark.benchmark(group="wallclock-4096atoms")
 @pytest.mark.parametrize("precision", ["double", "single", "mixed"])
 def test_production_precisions_wallclock(benchmark, big_workload, precision):

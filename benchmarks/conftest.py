@@ -12,6 +12,15 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """The benchmark collection is long-running by construction: mark
+    every item ``bench`` + ``slow`` so tier-1 (`-m "not slow"`) skips it
+    wholesale; ``repro bench`` covers the fast regression subset."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+        item.add_marker(pytest.mark.slow)
+
+
 def regenerate(benchmark, driver, *args, **kwargs):
     """Run an experiment driver under the benchmark, render it, return it."""
     result = benchmark.pedantic(driver, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.core.sw.functional import phi2, phi3
 from repro.core.sw.parameters import SWParams
-from repro.core.tersoff.prepare import PairData, build_triplets, group_by_i
+from repro.core.tersoff.prepare import PairData, build_triplets
 from repro.md.atoms import AtomSystem
 from repro.md.neighbor import NeighborList
 from repro.md.potential import ForceResult, Potential

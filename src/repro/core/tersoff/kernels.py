@@ -28,11 +28,9 @@ from repro.core.tersoff.functional import (
     b_order,
     b_order_d,
     f_a,
-    f_a_d,
     f_c,
     f_c_d,
     f_r,
-    f_r_d,
     g_angle,
     g_angle_d,
     zeta_exp,

@@ -65,14 +65,19 @@ class ExperimentResult:
         return "\n".join(out)
 
 
-def _fmt(v) -> str:
+def fmt_value(v) -> str:
+    """Compact number/tuple formatting shared by tables and the bench
+    comparator (``repro.perf.regress``)."""
     if isinstance(v, float):
         if v == 0 or (1e-3 <= abs(v) < 1e5):
             return f"{v:.4g}"
         return f"{v:.3e}"
     if isinstance(v, tuple):
-        return "[" + ", ".join(_fmt(x) for x in v) + "]"
+        return "[" + ", ".join(fmt_value(x) for x in v) + "]"
     return str(v)
+
+
+_fmt = fmt_value
 
 
 def format_table(rows: list[dict]) -> str:

@@ -13,8 +13,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.md.atoms import AtomSystem
 from repro.md.integrate import Langevin, NoseHoover, VelocityRescale, VelocityVerlet
 from repro.md.neighbor import NeighborList, NeighborSettings

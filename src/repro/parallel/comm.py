@@ -13,11 +13,11 @@ from dataclasses import dataclass, field
 
 # The fabric models live in repro.perf.network (shared with the offload
 # layer); re-exported here because halo traffic is their main consumer.
-from repro.perf.network import (  # noqa: F401
-    INFINIBAND_FDR,
-    INTRA_NODE,
+from repro.perf.network import (
+    INFINIBAND_FDR,  # noqa: F401
+    INTRA_NODE,  # noqa: F401
     NetworkModel,
-    PCIE_GEN2,
+    PCIE_GEN2,  # noqa: F401
 )
 
 

@@ -10,6 +10,10 @@ global across experiments, and documented in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import hashlib
+import os
+import platform
+import sys
 from dataclasses import dataclass
 
 
@@ -150,3 +154,61 @@ def table_ii() -> list[Machine]:
 def table_iii() -> list[Machine]:
     """Table III rows (Xeon Phi systems)."""
     return list_machines("III")
+
+
+# ---- Host fingerprint --------------------------------------------------------
+# The modeled machines above describe the *paper's* hardware; wall-clock
+# benchmarks (repro.perf.regress) run on whatever host executes them.
+# Baselines recorded on one host must never be silently compared against
+# runs from another, so every benchmark artifact embeds this block.
+
+def host_fingerprint() -> dict:
+    """Identify the host this process runs on, for benchmark artifacts.
+
+    Only fields that affect wall-clock comparability go into the
+    ``fingerprint_id`` hash: CPU architecture, processor model, core
+    count, OS and the Python major.minor (interpreter perf varies across
+    minors).  Hostname and exact patch versions are recorded for
+    provenance but excluded from the hash so e.g. a CI runner pool with
+    interchangeable nodes still matches itself.
+    """
+    import numpy
+
+    uname = platform.uname()
+    identity = {
+        "arch": uname.machine,
+        "processor": _processor_name(),
+        "cpu_count": os.cpu_count() or 0,
+        "system": uname.system,
+        "python": ".".join(platform.python_version_tuple()[:2]),
+    }
+    digest = hashlib.sha256(
+        "|".join(f"{k}={identity[k]}" for k in sorted(identity)).encode()
+    ).hexdigest()[:16]
+    return {
+        "fingerprint_id": digest,
+        **identity,
+        "hostname": uname.node,
+        "python_full": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": numpy.__version__,
+        "sys_platform": sys.platform,
+    }
+
+
+def _processor_name() -> str:
+    """Best-effort CPU model string (``platform.processor`` is often empty on Linux)."""
+    if sys.platform.startswith("linux"):
+        try:
+            with open("/proc/cpuinfo") as fh:
+                for line in fh:
+                    if line.lower().startswith("model name"):
+                        return line.split(":", 1)[1].strip()
+        except OSError:
+            pass
+    return platform.processor() or platform.machine()
+
+
+def fingerprints_match(a: dict, b: dict) -> bool:
+    """True when two artifact fingerprint blocks describe comparable hosts."""
+    return bool(a.get("fingerprint_id")) and a.get("fingerprint_id") == b.get("fingerprint_id")

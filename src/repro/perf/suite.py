@@ -1,0 +1,303 @@
+"""The curated benchmark suite behind ``repro bench``.
+
+Every entry is a :class:`BenchCase`: a named, tiered, self-contained
+piece of hot-path work whose wall-clock (and, where available,
+deterministic modeled metrics) the regression harness tracks across
+commits.  The cases mirror the paper's measurement axes:
+
+- ``schemes/*``   — the Fig. 1 lane mappings (1a/1b/1c) on one workload;
+- ``masking/*``   — the Fig. 2 fast-forward / filter ablations;
+- ``kernel/*``    — honest wall-clock of the Ref/Opt/Production paths;
+- ``substrate/*`` — neighbor-list builds;
+- ``md/*``        — a full timestep through :class:`~repro.md.simulation.Simulation`,
+  with the LAMMPS-style :class:`~repro.md.simulation.StageTimers`
+  breakdown recorded into the artifact;
+- ``model/*``     — the cost-model predictions (modeled cycles are
+  *deterministic*, so these act as a zero-noise regression tripwire).
+
+``benchmarks/`` pytest scripts reuse the same workload builders so the
+interactive suite and the gate measure identical work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Callable
+
+#: Tier of a case: ``hard`` failures gate the run, ``warn`` only reports.
+TIERS = ("hard", "warn")
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One tracked benchmark.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier (``group/case``); baseline keys use it, so
+        renaming a case orphans its history.
+    setup:
+        Zero-argument factory returning the *timed thunk*.  Everything
+        expensive that should not be timed (lattice construction,
+        neighbor builds) happens in ``setup``; the thunk does one
+        measurable unit of work and returns an optional payload.
+    tier:
+        ``hard`` (regression fails the gate) or ``warn``.
+    smoke:
+        Included in the ``--smoke`` subset (fast, CI-friendly).
+    metrics:
+        Optional callable mapping the thunk's last payload to a dict of
+        deterministic scalar metrics compared with a tight tolerance.
+    extra:
+        Optional callable mapping the last payload to informational
+        (non-compared) artifact data, e.g. stage breakdowns.
+    repeats / warmup:
+        Per-case overrides of the runner defaults (``None`` = inherit).
+    """
+
+    name: str
+    setup: Callable[[], Callable[[], Any]]
+    tier: str = "hard"
+    smoke: bool = True
+    metrics: Callable[[Any], dict] | None = None
+    extra: Callable[[Any], dict] | None = None
+    repeats: int | None = None
+    warmup: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.tier not in TIERS:
+            raise ValueError(f"tier must be one of {TIERS}, got {self.tier!r}")
+        if "/" not in self.name:
+            raise ValueError(f"case name must be 'group/case', got {self.name!r}")
+
+    @property
+    def group(self) -> str:
+        return self.name.split("/", 1)[0]
+
+
+SUITE: dict[str, BenchCase] = {}
+
+
+def register(case: BenchCase) -> BenchCase:
+    if case.name in SUITE:
+        raise ValueError(f"duplicate benchmark case {case.name!r}")
+    SUITE[case.name] = case
+    return case
+
+
+def get_suite(*, smoke: bool = False, filter: str | None = None) -> list[BenchCase]:
+    """The curated cases, optionally restricted to the smoke subset
+    and/or to names containing `filter`."""
+    cases = [c for c in SUITE.values() if not smoke or c.smoke]
+    if filter:
+        cases = [c for c in cases if filter in c.name]
+    return cases
+
+
+# ---- shared workload builders ------------------------------------------------
+# Cached: suite runs and the pytest benchmarks in benchmarks/ time the
+# *work*, not the lattice/neighbor construction.
+
+@lru_cache(maxsize=8)
+def si_workload(cells: int, seed: int = 1):
+    """Perturbed diamond-Si system + built neighbor list, ``cells^3 * 8`` atoms."""
+    from repro.core.tersoff.parameters import tersoff_si
+    from repro.md.lattice import diamond_lattice, perturbed
+    from repro.md.neighbor import NeighborList, NeighborSettings
+
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(cells, cells, cells), 0.1, seed=seed)
+    neigh = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+    neigh.build(system.x, system.box)
+    return params, system, neigh
+
+
+@lru_cache(maxsize=8)
+def si_workload_full(cells: int, seed: int = 3):
+    """Like :func:`si_workload` but with a full (both-directions) list,
+    as the vectorized kernels require."""
+    from repro.core.tersoff.parameters import tersoff_si
+    from repro.md.lattice import diamond_lattice, perturbed
+    from repro.md.neighbor import NeighborList, NeighborSettings
+
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(cells, cells, cells), 0.08, seed=seed)
+    neigh = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0, full=True))
+    neigh.build(system.x, system.box)
+    return params, system, neigh
+
+
+# ---- schemes/* : Fig. 1 lane mappings ---------------------------------------
+
+def _scheme_case(scheme: str, isa: str) -> None:
+    def setup() -> Callable[[], Any]:
+        from repro.core.tersoff.vectorized import TersoffVectorized
+
+        params, system, neigh = si_workload_full(3)
+        pot = TersoffVectorized(params, isa=isa, scheme=scheme)
+        return lambda: pot.compute(system, neigh)
+
+    register(BenchCase(
+        name=f"schemes/{scheme}-{isa}",
+        setup=setup,
+        metrics=lambda res: {
+            "modeled_cycles": float(res.stats["cycles"]),
+            "utilization": float(res.stats["utilization"]),
+            "kernel_invocations": float(res.stats["kernel_invocations"]),
+        },
+    ))
+
+
+_scheme_case("1a", "avx")
+_scheme_case("1b", "imci")
+_scheme_case("1c", "cuda")
+
+
+# ---- masking/* : Fig. 2 fast-forward / filter ablations ---------------------
+
+def _masking_case(label: str, fast_forward: bool, filter_neighbors: bool) -> None:
+    def setup() -> Callable[[], Any]:
+        from repro.core.tersoff.vectorized import TersoffVectorized
+
+        params, system, neigh = si_workload_full(3)
+        pot = TersoffVectorized(
+            params, isa="imci", precision="single", scheme="1b",
+            fast_forward=fast_forward, filter_neighbors=filter_neighbors,
+        )
+        return lambda: pot.compute(system, neigh)
+
+    register(BenchCase(
+        name=f"masking/{label}",
+        setup=setup,
+        metrics=lambda res: {
+            "modeled_cycles": float(res.stats["cycles"]),
+            "utilization": float(res.stats["utilization"]),
+            "spin_iterations": float(res.stats["spin_iterations"]),
+        },
+    ))
+
+
+_masking_case("naive", fast_forward=False, filter_neighbors=False)
+_masking_case("fast-forward", fast_forward=True, filter_neighbors=False)
+_masking_case("fast-forward+filter", fast_forward=True, filter_neighbors=True)
+
+
+# ---- kernel/* : honest wall-clock of the implementation ladder --------------
+
+def _kernel_case(name: str, make_pot: Callable[[Any], Any], cells: int, *,
+                 smoke: bool = True, tier: str = "hard",
+                 repeats: int | None = None) -> None:
+    def setup() -> Callable[[], Any]:
+        params, system, neigh = si_workload(cells)
+        pot = make_pot(params)
+        return lambda: pot.compute(system, neigh)
+
+    register(BenchCase(name=name, setup=setup, smoke=smoke, tier=tier,
+                       repeats=repeats))
+
+
+def _ref(params):
+    from repro.core.tersoff.reference import TersoffReference
+
+    return TersoffReference(params)
+
+
+def _opt(params):
+    from repro.core.tersoff.optimized import TersoffOptimized
+
+    return TersoffOptimized(params, kmax=8)
+
+
+def _prod(params, precision="double"):
+    from repro.core.tersoff.production import TersoffProduction
+
+    return TersoffProduction(params, precision=precision)
+
+
+# The per-atom reference loop is the slowest path; keep it out of the
+# smoke subset and only warn on it (it is not a hot path anyone tunes).
+_kernel_case("kernel/reference-64", _ref, 2, smoke=False, tier="warn")
+# ~150 ms per invocation: the default 0.5 s budget would stop at 4-5
+# samples, far too few for a stable median on a noisy host — force more.
+_kernel_case("kernel/optimized-64", _opt, 2, repeats=12)
+_kernel_case("kernel/production-64", _prod, 2)
+_kernel_case("kernel/production-512", _prod, 4)
+_kernel_case("kernel/production-mixed-512", lambda p: _prod(p, "mixed"), 4, smoke=False)
+
+
+# ---- substrate/* : neighbor-list builds -------------------------------------
+
+def _neighbor_case(cells: int, *, smoke: bool) -> None:
+    def setup() -> Callable[[], Any]:
+        from repro.md.neighbor import NeighborList, NeighborSettings
+
+        params, system, _ = si_workload(cells)
+
+        def build():
+            nl = NeighborList(NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+            nl.build(system.x, system.box)
+            return nl
+
+        return build
+
+    register(BenchCase(name=f"substrate/neighbor-build-{8 * cells ** 3}",
+                       setup=setup, smoke=smoke))
+
+
+_neighbor_case(4, smoke=True)    # 512 atoms
+_neighbor_case(8, smoke=False)   # 4096 atoms
+
+
+# ---- md/* : one full timestep with the stage-timer breakdown ----------------
+
+def _md_step_setup() -> Callable[[], Any]:
+    from repro.md.lattice import seeded_velocities
+    from repro.md.neighbor import NeighborSettings
+    from repro.md.simulation import Simulation
+
+    params, system, _ = si_workload(4)
+    sys2 = system.copy()
+    seeded_velocities(sys2, 300.0, seed=3)
+    sim = Simulation(sys2, _prod(params),
+                     neighbor=NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+    sim.compute_forces()
+    return lambda: (sim.run(1), sim)[1]
+
+
+register(BenchCase(
+    name="md/step-512",
+    setup=_md_step_setup,
+    extra=lambda sim: {"stage_seconds": sim.timers.as_dict(),
+                       "stage_breakdown": sim.timers.breakdown()},
+))
+
+
+# ---- model/* : deterministic cost-model predictions -------------------------
+
+def _model_setup() -> Callable[[], Any]:
+    from repro.harness.experiments import PAPER_ATOMS, kernel_profile
+    from repro.perf.machines import get_machine
+    from repro.perf.model import PerformanceModel
+
+    pairs = [("WM", "Opt-D"), ("HW", "Opt-M"), ("KNL", "Opt-M")]
+    profiles = {(m, mode): kernel_profile(mode, get_machine(m).isa) for m, mode in pairs}
+
+    def predict():
+        out = {}
+        for (name, mode), profile in profiles.items():
+            machine = get_machine(name)
+            step = PerformanceModel(machine).step_time(
+                profile, PAPER_ATOMS["fig4"], cores=machine.cores)
+            out[f"{name}-{mode}"] = step.ns_per_day()
+        return out
+
+    return predict
+
+
+register(BenchCase(
+    name="model/cost-predictions",
+    setup=_model_setup,
+    metrics=lambda preds: {f"ns_per_day[{k}]": float(v) for k, v in preds.items()},
+))

@@ -1,0 +1,349 @@
+"""The performance-regression harness: runner, artifact, comparator, CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf import regress
+from repro.perf.machines import fingerprints_match, host_fingerprint
+from repro.perf.regress import (
+    ArtifactError,
+    MachineMismatchError,
+    SCHEMA_VERSION,
+    SchemaMismatchError,
+    compare,
+    load_artifact,
+    reject_outliers,
+    render_comparison,
+    run_suite,
+    write_artifact,
+)
+from repro.perf.suite import SUITE, BenchCase, get_suite
+
+
+def make_artifact(results, machine=None):
+    """Synthetic artifact with the minimum the comparator needs."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": 0.0,
+        "created": "1970-01-01T00:00:00",
+        "smoke": True,
+        "config": {"repeats": 3, "warmup": 0, "filter": None},
+        "machine": machine or {"fingerprint_id": "aaaa", "processor": "test-cpu"},
+        "results": results,
+    }
+
+
+def case_result(median, tier="hard", metrics=None, samples=None):
+    samples = samples if samples is not None else [median] * 3
+    return {
+        "tier": tier,
+        "group": "g",
+        "samples_s": samples,
+        "kept": len(samples),
+        "dropped_outliers": 0,
+        "median_s": median,
+        "mean_s": median,
+        "min_s": min(samples),
+        "stdev_s": 0.0,
+        **({"metrics": metrics} if metrics else {}),
+    }
+
+
+class TestFingerprint:
+    def test_stable_within_process(self):
+        assert host_fingerprint()["fingerprint_id"] == host_fingerprint()["fingerprint_id"]
+
+    def test_identity_fields_present(self):
+        fp = host_fingerprint()
+        for key in ("arch", "processor", "cpu_count", "system", "python", "hostname"):
+            assert key in fp
+
+    def test_match_requires_id(self):
+        assert not fingerprints_match({}, {})
+        assert not fingerprints_match({"fingerprint_id": "x"}, {"fingerprint_id": "y"})
+        assert fingerprints_match({"fingerprint_id": "x"}, {"fingerprint_id": "x"})
+
+
+class TestOutliers:
+    def test_small_samples_kept(self):
+        assert reject_outliers([1.0, 2.0, 3.0]) == ([1.0, 2.0, 3.0], 0)
+
+    def test_spike_dropped(self):
+        samples = [1.0, 1.01, 1.02, 0.99, 1.0, 50.0]
+        kept, dropped = reject_outliers(samples)
+        assert dropped == 1 and 50.0 not in kept
+
+    def test_identical_samples(self):
+        assert reject_outliers([1.0] * 5) == ([1.0] * 5, 0)
+
+    def test_never_drops_majority(self):
+        # bimodal: half the samples are "outliers" of the other half
+        samples = [1.0, 1.0, 1.0, 9.0, 9.0, 9.0]
+        kept, dropped = reject_outliers(samples)
+        assert dropped == 0 and len(kept) == 6
+
+
+class TestComparator:
+    def test_unchanged_run_passes(self):
+        base = make_artifact({"g/a": case_result(1.0), "g/b": case_result(2.0)})
+        comparison = compare(base, base)
+        assert comparison.exit_code == 0
+        assert all(c.status == "ok" for c in comparison.cases)
+
+    def test_regression_fails_strict(self):
+        base = make_artifact({"g/a": case_result(1.0)})
+        cur = make_artifact({"g/a": case_result(1.25)})
+        comparison = compare(base, cur)
+        assert comparison.exit_code == 1
+        assert comparison.failures[0].name == "g/a"
+
+    def test_warn_mode_never_fails(self):
+        base = make_artifact({"g/a": case_result(1.0)})
+        cur = make_artifact({"g/a": case_result(3.0)})
+        comparison = compare(base, cur, mode="warn")
+        assert comparison.exit_code == 0
+        assert comparison.warnings
+
+    def test_warn_tier_case_never_fails(self):
+        base = make_artifact({"g/a": case_result(1.0, tier="warn")})
+        cur = make_artifact({"g/a": case_result(3.0, tier="warn")})
+        comparison = compare(base, cur)
+        assert comparison.exit_code == 0
+        assert comparison.warnings
+
+    def test_improvement_reported(self):
+        base = make_artifact({"g/a": case_result(1.0)})
+        cur = make_artifact({"g/a": case_result(0.5)})
+        (c,) = compare(base, cur).cases
+        assert c.status == "improved"
+
+    def test_noise_within_tolerance_ok(self):
+        base = make_artifact({"g/a": case_result(1.0)})
+        cur = make_artifact({"g/a": case_result(1.08)})  # +8% < warn_tol 10%
+        (c,) = compare(base, cur).cases
+        assert c.status == "ok"
+
+    def test_between_warn_and_fail_warns(self):
+        base = make_artifact({"g/a": case_result(1.0)})
+        cur = make_artifact({"g/a": case_result(1.15)})
+        (c,) = compare(base, cur).cases
+        assert c.status == "warn"
+
+    def test_custom_tolerances(self):
+        base = make_artifact({"g/a": case_result(1.0)})
+        cur = make_artifact({"g/a": case_result(1.15)})
+        assert compare(base, cur, fail_tol=0.10).exit_code == 1
+        assert compare(base, cur, fail_tol=0.50, warn_tol=0.30).cases[0].status == "ok"
+
+    def test_new_and_missing_cases(self):
+        base = make_artifact({"g/gone": case_result(1.0)})
+        cur = make_artifact({"g/new": case_result(1.0)})
+        statuses = {c.name: c.status for c in compare(base, cur).cases}
+        assert statuses == {"g/gone": "missing", "g/new": "new"}
+
+    def test_deterministic_metric_drift_fails_both_directions(self):
+        base = make_artifact({"g/a": case_result(1.0, metrics={"cycles": 1000.0})})
+        up = make_artifact({"g/a": case_result(1.0, metrics={"cycles": 1100.0})})
+        down = make_artifact({"g/a": case_result(1.0, metrics={"cycles": 900.0})})
+        assert compare(base, up).exit_code == 1
+        assert compare(base, down).exit_code == 1
+        same = make_artifact({"g/a": case_result(1.0, metrics={"cycles": 1000.0})})
+        assert compare(base, same).exit_code == 0
+
+    def test_throttled_median_with_stable_floor_downgraded_to_warn(self):
+        # every current sample slower except the floor: throttling, not code
+        base = make_artifact({"g/a": case_result(1.0, samples=[0.99, 1.0, 1.02])})
+        cur = make_artifact({"g/a": case_result(1.4, samples=[1.02, 1.4, 1.5])})
+        comparison = compare(base, cur)
+        assert comparison.exit_code == 0
+        (c,) = comparison.cases
+        assert c.status == "warn" and "throttling" in c.note
+
+    def test_floor_drift_within_fail_tol_still_downgraded(self):
+        # min moved +15% (between warn and fail tolerance) while the
+        # median jumped +40%: still throttling, not a code regression
+        base = make_artifact({"g/a": case_result(1.0, samples=[0.99, 1.0, 1.02])})
+        cur = make_artifact({"g/a": case_result(1.4, samples=[1.15, 1.4, 1.5])})
+        comparison = compare(base, cur)
+        assert comparison.exit_code == 0
+        (c,) = comparison.cases
+        assert c.status == "warn" and "throttling" in c.note
+
+    def test_genuine_slowdown_shifts_floor_and_fails(self):
+        base = make_artifact({"g/a": case_result(1.0, samples=[0.99, 1.0, 1.02])})
+        cur = make_artifact({"g/a": case_result(1.4, samples=[1.35, 1.4, 1.5])})
+        assert compare(base, cur).exit_code == 1
+
+    def test_edited_median_gets_no_noise_benefit(self):
+        # median_s inconsistent with samples (hand-edited artifact): fail
+        base = make_artifact({"g/a": case_result(1.0, samples=[0.99, 1.0, 1.02])})
+        cur = make_artifact({"g/a": case_result(1.4, samples=[0.99, 1.0, 1.02])})
+        assert compare(base, cur).exit_code == 1
+
+    def test_sub_noise_floor_case_warns_not_fails(self):
+        # 20 microsecond medians are timer noise; a 50% swing must not gate
+        base = make_artifact({"g/tiny": case_result(2e-5)})
+        cur = make_artifact({"g/tiny": case_result(3e-5)})
+        comparison = compare(base, cur)
+        assert comparison.exit_code == 0
+        assert comparison.cases[0].status == "warn"
+
+    def test_machine_mismatch_rejected(self):
+        base = make_artifact({"g/a": case_result(1.0)},
+                             machine={"fingerprint_id": "aaaa", "processor": "cpu-a"})
+        cur = make_artifact({"g/a": case_result(1.0)},
+                            machine={"fingerprint_id": "bbbb", "processor": "cpu-b"})
+        with pytest.raises(MachineMismatchError):
+            compare(base, cur)
+        assert compare(base, cur, allow_machine_mismatch=True).exit_code == 0
+
+    def test_bad_mode_rejected(self):
+        base = make_artifact({"g/a": case_result(1.0)})
+        with pytest.raises(ValueError):
+            compare(base, base, mode="yolo")
+
+    def test_render_mentions_verdict(self):
+        base = make_artifact({"g/a": case_result(1.0)})
+        cur = make_artifact({"g/a": case_result(2.0)})
+        text = render_comparison(compare(base, cur))
+        assert "FAIL" in text and "g/a" in text
+        assert "PASS" in render_comparison(compare(base, base))
+
+
+class TestArtifactIO:
+    def test_round_trip(self, tmp_path):
+        art = make_artifact({"g/a": case_result(1.0)})
+        path = write_artifact(art, tmp_path / "BENCH_test.json")
+        assert load_artifact(path) == art
+
+    def test_schema_version_rejected(self, tmp_path):
+        art = make_artifact({"g/a": case_result(1.0)})
+        art["schema_version"] = SCHEMA_VERSION + 1
+        path = write_artifact(art, tmp_path / "bad.json")
+        with pytest.raises(SchemaMismatchError):
+            load_artifact(path)
+
+    def test_non_artifact_rejected(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ArtifactError):
+            load_artifact(path)
+        path.write_text("not json")
+        with pytest.raises(ArtifactError):
+            load_artifact(path)
+        with pytest.raises(ArtifactError):
+            load_artifact(tmp_path / "nope.json")
+
+    def test_default_path_is_timestamped(self):
+        art = make_artifact({})
+        assert str(regress.default_artifact_path(art)).startswith("BENCH_")
+
+
+class TestSuiteRegistry:
+    def test_curated_cases_present(self):
+        names = set(SUITE)
+        for expected in ("schemes/1b-imci", "masking/fast-forward",
+                         "kernel/production-64", "substrate/neighbor-build-512",
+                         "md/step-512", "model/cost-predictions"):
+            assert expected in names
+
+    def test_smoke_subset_is_proper(self):
+        smoke = {c.name for c in get_suite(smoke=True)}
+        full = {c.name for c in get_suite()}
+        assert smoke < full
+
+    def test_filter(self):
+        assert all("masking" in c.name for c in get_suite(filter="masking"))
+        assert get_suite(filter="masking")
+
+    def test_bad_case_names_rejected(self):
+        with pytest.raises(ValueError):
+            BenchCase(name="nogroup", setup=lambda: lambda: None)
+        with pytest.raises(ValueError):
+            BenchCase(name="g/x", setup=lambda: lambda: None, tier="fatal")
+
+
+class TestRunner:
+    def test_run_suite_artifact_shape(self):
+        art = run_suite(filter="model/", repeats=2, warmup=0, min_time=0.0)
+        assert art["schema_version"] == SCHEMA_VERSION
+        assert "fingerprint_id" in art["machine"]
+        res = art["results"]["model/cost-predictions"]
+        assert len(res["samples_s"]) == 2
+        assert res["median_s"] > 0
+        assert res["metrics"]  # deterministic predictions recorded
+
+    def test_run_suite_unknown_filter(self):
+        with pytest.raises(ArtifactError):
+            run_suite(filter="no-such-case")
+
+    def test_time_budget_accumulates_samples(self):
+        art = run_suite(filter="model/", repeats=2, warmup=0,
+                        min_time=0.05, max_repeats=40)
+        assert art["results"]["model/cost-predictions"]["kept"] > 2
+
+    def test_md_case_records_stage_breakdown(self):
+        art = run_suite(filter="md/step", repeats=1, warmup=0, min_time=0.0)
+        extra = art["results"]["md/step-512"]["extra"]
+        assert set(extra["stage_seconds"]) >= {"pair", "neighbor", "integrate", "total"}
+
+
+class TestBenchCLI:
+    def test_list(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel/production-64" in out and "[hard, smoke]" in out
+
+    def test_run_compare_gate(self, tmp_path, capsys):
+        art_path = tmp_path / "BENCH_a.json"
+        assert main(["bench", "run", "--filter", "kernel/production-512", "--repeats", "2",
+                     "--warmup", "0", "--quiet", "--out", str(art_path)]) == 0
+        assert art_path.exists()
+        # unchanged re-run (self-compare): exit 0
+        assert main(["bench", "compare", "--baseline", str(art_path),
+                     "--current", str(art_path)]) == 0
+        # inject a >=20% slowdown: exit non-zero
+        art = json.loads(art_path.read_text())
+        name = next(iter(art["results"]))
+        art["results"][name]["median_s"] *= 1.30
+        art["results"][name].pop("metrics", None)
+        slow_path = tmp_path / "BENCH_slow.json"
+        slow_path.write_text(json.dumps(art))
+        capsys.readouterr()
+        assert main(["bench", "compare", "--baseline", str(art_path),
+                     "--current", str(slow_path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        # warn mode downgrades the same regression
+        assert main(["bench", "compare", "--baseline", str(art_path),
+                     "--current", str(slow_path), "--mode", "warn"]) == 0
+
+    def test_compare_machine_mismatch_exit_2(self, tmp_path, capsys):
+        art = make_artifact({"g/a": case_result(1.0)},
+                            machine={"fingerprint_id": "aaaa", "processor": "x"})
+        other = make_artifact({"g/a": case_result(1.0)},
+                              machine={"fingerprint_id": "bbbb", "processor": "y"})
+        pa, pb = tmp_path / "a.json", tmp_path / "b.json"
+        pa.write_text(json.dumps(art))
+        pb.write_text(json.dumps(other))
+        assert main(["bench", "compare", "--baseline", str(pa), "--current", str(pb)]) == 2
+        assert "refusing" in capsys.readouterr().err
+        assert main(["bench", "compare", "--baseline", str(pa), "--current", str(pb),
+                     "--allow-machine-mismatch"]) == 0
+
+    def test_compare_schema_mismatch_exit_2(self, tmp_path, capsys):
+        art = make_artifact({"g/a": case_result(1.0)})
+        art["schema_version"] = 99
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps(art))
+        assert main(["bench", "compare", "--baseline", str(path),
+                     "--current", str(path)]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_baseline_writes_named_file(self, tmp_path):
+        out = tmp_path / "baselines" / "local.json"
+        assert main(["bench", "baseline", "--filter", "model/", "--repeats", "1",
+                     "--warmup", "0", "--quiet", "--out", str(out)]) == 0
+        assert out.exists()
+        assert load_artifact(out)["results"]

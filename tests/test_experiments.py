@@ -1,7 +1,6 @@
 """Experiment harness: every figure/table driver must run, produce the
 paper's structure, and land inside the asserted reproduction bands."""
 
-import numpy as np
 import pytest
 
 from repro.harness import experiments as E

@@ -7,7 +7,7 @@ import pytest
 from conftest import build_list, make_cluster
 from repro.core.tersoff.optimized import TersoffOptimized, zeta_and_dzeta
 from repro.core.tersoff.reference import TersoffReference, _dzeta
-from repro.core.tersoff.parameters import tersoff_si, tersoff_sic
+from repro.core.tersoff.parameters import tersoff_si
 
 
 class TestEquality:

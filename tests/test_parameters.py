@@ -3,7 +3,6 @@ flat struct-of-arrays layout."""
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core.tersoff.parameters import (
@@ -187,8 +186,6 @@ class TestBundledFiles:
 
     def test_bundled_parameters_drive_solver(self):
         """Loaded-from-disk parameters produce the same physics."""
-        import numpy as np
-
         from conftest import build_list
         from repro.core.tersoff.parameters import bundled_file, load_tersoff_file
         from repro.core.tersoff.production import TersoffProduction

@@ -1,7 +1,6 @@
 """Performance model: stage composition, the ns/day metric, scaling
 behaviour, and the offload balance."""
 
-import numpy as np
 import pytest
 
 from repro.perf.machines import get_machine

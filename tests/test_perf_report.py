@@ -1,6 +1,5 @@
 """Cycle-breakdown reports over kernel statistics."""
 
-import numpy as np
 import pytest
 
 from conftest import build_list

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from conftest import build_list, make_cluster
-from repro.core.tersoff.parameters import tersoff_si, tersoff_sic
+from repro.core.tersoff.parameters import tersoff_si
 from repro.core.tersoff.prepare import build_pairs, build_triplets, group_by_i
 
 

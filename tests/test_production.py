@@ -6,9 +6,9 @@ import pytest
 
 from conftest import build_list, make_cluster
 from repro.core.tersoff.production import TersoffProduction
-from repro.core.tersoff.parameters import tersoff_si, tersoff_sic
+from repro.core.tersoff.parameters import tersoff_si
 from repro.core.tersoff.reference import TersoffReference
-from repro.md.lattice import diamond_lattice, perturbed
+from repro.md.lattice import diamond_lattice
 from repro.md.potential import finite_difference_forces
 from repro.vector.precision import Precision
 

@@ -8,7 +8,6 @@ from repro.core.tersoff.parameters import tersoff_si
 from repro.core.tersoff.production import TersoffProduction
 from repro.md.lattice import diamond_lattice, perturbed
 from repro.md.thermo import pressure
-from repro.md.units import NKTV2P
 
 
 @pytest.fixture(scope="module")

@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.md.atoms import AtomSystem
-from repro.md.box import Box
 from repro.md.lattice import diamond_lattice, seeded_velocities
 from repro.md.thermo import ThermoSample, kinetic_energy, maxwell_sigma, pressure, sample, temperature
 from repro.md.units import BOLTZMANN, MVV2E, NKTV2P

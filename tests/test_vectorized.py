@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from conftest import build_list, make_cluster
-from repro.core.tersoff.parameters import tersoff_si, tersoff_sic
+from repro.core.tersoff.parameters import tersoff_si
 from repro.core.tersoff.reference import TersoffReference
 from repro.core.tersoff.vectorized import TersoffVectorized
 
