@@ -77,6 +77,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"\n{result.timers.breakdown()}")
     print(f"throughput: {result.ns_per_day(sim.dt):.3f} ns/day "
           f"({result.neighbor_builds} neighbor rebuilds)")
+    cache = (sim.last_result.stats.get("cache", {}) if sim.last_result else {})
+    if cache.get("enabled"):
+        print(f"interaction cache: {cache['hits']} hits, {cache['misses']} misses, "
+              f"{cache['invalidations']} invalidations (list v{cache['list_version']})")
     return 0
 
 

@@ -13,18 +13,12 @@ import numpy as np
 
 from repro.core.sw.functional import phi2, phi3
 from repro.core.sw.parameters import SWParams
+from repro.core.tersoff.cache import segsum3
 from repro.core.tersoff.prepare import PairData, build_triplets
 from repro.md.atoms import AtomSystem
 from repro.md.neighbor import NeighborList
 from repro.md.potential import ForceResult, Potential
 from repro.vector.precision import Precision
-
-
-def _bincount3(idx: np.ndarray, vec: np.ndarray, n: int) -> np.ndarray:
-    out = np.empty((n, 3))
-    for axis in range(3):
-        out[:, axis] = np.bincount(idx, weights=vec[:, axis], minlength=n)
-    return out
 
 
 class StillingerWeberProduction(Potential):
@@ -73,8 +67,8 @@ class StillingerWeberProduction(Potential):
         energy = 0.5 * float(np.sum(e2.astype(np.float64)))
         fvec = fpair[:, None] * pairs.d
         forces = np.zeros((n, 3))
-        forces -= _bincount3(pairs.i_idx, fvec, n)
-        forces += _bincount3(pairs.j_idx, fvec, n)
+        forces -= segsum3(pairs.i_idx, fvec, n)
+        forces += segsum3(pairs.j_idx, fvec, n)
         virial = float(np.sum(fpair * pairs.r * pairs.r))
 
         # ---- three-body: unordered (j, k) via ordered expansion + row filter -
@@ -97,9 +91,9 @@ class StillingerWeberProduction(Potential):
             dcos_dk = hat_ij / rik_t[:, None] - (cos_t / rik_t)[:, None] * hat_ik
             fj = -(de_drij[:, None] * hat_ij + de_dcos[:, None] * dcos_dj).astype(np.float64)
             fk = -(de_drik[:, None] * hat_ik + de_dcos[:, None] * dcos_dk).astype(np.float64)
-            forces += _bincount3(pairs.j_idx[tp], fj, n)
-            forces += _bincount3(pairs.j_idx[tk], fk, n)
-            forces -= _bincount3(pairs.i_idx[tp], fj + fk, n)
+            forces += segsum3(pairs.j_idx[tp], fj, n)
+            forces += segsum3(pairs.j_idx[tk], fk, n)
+            forces -= segsum3(pairs.i_idx[tp], fj + fk, n)
             virial += float(np.sum(np.einsum("ij,ij->i", pairs.d[tp], fj)
                                    + np.einsum("ij,ij->i", pairs.d[tk], fk)))
 

@@ -10,9 +10,12 @@ Implementations, in the order the paper develops them:
   schemes (1a)/(1b)/(1c) on the portable vector abstraction
   (Sec. IV-B/C/D), instruction-counted per ISA;
 - :class:`~repro.core.tersoff.production.TersoffProduction` — the wide
-  numpy rendition of the optimized kernel used for real simulations.
+  numpy rendition of the optimized kernel used for real simulations,
+  with step-persistent staging from
+  :class:`~repro.core.tersoff.cache.InteractionCache`.
 """
 
+from repro.core.tersoff.cache import CacheStats, InteractionCache, Workspace
 from repro.core.tersoff.optimized import TersoffOptimized
 from repro.core.tersoff.parameters import (
     ELEMENT_SETS,
@@ -32,13 +35,16 @@ from repro.core.tersoff.reference import TersoffReference
 from repro.core.tersoff.vectorized import TersoffVectorized
 
 __all__ = [
+    "CacheStats",
     "ELEMENT_SETS",
+    "InteractionCache",
     "TersoffEntry",
     "TersoffOptimized",
     "TersoffParams",
     "TersoffProduction",
     "TersoffReference",
     "TersoffVectorized",
+    "Workspace",
     "format_lammps_tersoff",
     "parse_lammps_tersoff",
     "tersoff_carbon",

@@ -117,6 +117,28 @@ class ParamFields:
 _TRIPLET_FIELDS = ("R", "D", "gamma", "c", "d", "h", "lam3", "m")
 _PAIR_FIELDS = _TRIPLET_FIELDS + ("n", "beta", "lam2", "B", "lam1", "A", "c1", "c2", "c3", "c4")
 
+#: Fields the wide production path gathers per pair / per triplet row
+#: (the 17-field struct-of-arrays block; ``m`` is gathered separately
+#: because it stays a float64 selector in every precision mode).
+PROD_PAIR_FIELDS = ("R", "D", "A", "lam1", "B", "lam2", "beta", "n", "c1", "c2", "c3", "c4")
+PROD_TRIPLET_FIELDS = ("R", "D", "gamma", "c", "d", "h", "lam3")
+
+
+def gather_flat(
+    pblock: dict[str, np.ndarray],
+    flat_idx: np.ndarray,
+    fields: tuple[str, ...],
+) -> dict[str, np.ndarray]:
+    """Uncosted struct-of-arrays gather for the wide production path.
+
+    The lane-level schemes pay per-gather costs through
+    :func:`gather_params`; the production path gathers whole interaction
+    batches at once, and the interaction cache reuses the result across
+    steps while the filtered topology is unchanged (same values either
+    way, so cached and cold paths agree bit for bit).
+    """
+    return {f: pblock[f][flat_idx] for f in fields}
+
 
 def gather_params(
     bk: VectorBackend,

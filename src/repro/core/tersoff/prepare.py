@@ -75,6 +75,59 @@ class TripletData:
         return int(self.tri_pair.shape[0])
 
 
+def pair_geometry(
+    x: np.ndarray,
+    box,
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    *,
+    workspace=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Minimum-image displacements ``x_j - x_i`` and distances.
+
+    The one genuinely position-dependent piece of pair staging; the
+    interaction cache (:mod:`repro.core.tersoff.cache`) recomputes this
+    every force call while reusing everything topological.  With a
+    `workspace` the result lives in reused scratch buffers (no per-call
+    allocation); the arithmetic is identical either way, so cached and
+    cold paths agree bit for bit.
+    """
+    L = i_idx.shape[0]
+    if workspace is None:
+        d = x[j_idx] - x[i_idx]
+    else:
+        d = workspace.buf("pair_d", (L, 3), np.float64)
+        xi = workspace.buf("pair_xi", (L, 3), np.float64)
+        np.take(x, j_idx, axis=0, out=d)
+        np.take(x, i_idx, axis=0, out=xi)
+        np.subtract(d, xi, out=d)
+    # in-place minimum image, same arithmetic as Box.minimum_image
+    tmp = None if workspace is None else workspace.buf("pair_mi", L, np.float64)
+    for axis in range(3):
+        if box.periodic[axis]:
+            span = box.lengths[axis]
+            col = d[..., axis]
+            if tmp is None:
+                col -= span * np.round(col / span)
+            else:
+                np.divide(col, span, out=tmp)
+                np.round(tmp, out=tmp)
+                tmp *= span
+                col -= tmp
+    if workspace is None:
+        r = np.sqrt(np.einsum("ij,ij->i", d, d))
+    else:
+        r2 = workspace.buf("pair_r", L, np.float64)
+        np.einsum("ij,ij->i", d, d, out=r2)
+        r = np.sqrt(r2, out=r2)
+    if not np.isfinite(r).all():
+        # NaN/inf distances compare False against every cutoff and would
+        # be *silently dropped* by the filter — fail loudly instead
+        bad = int(i_idx[np.nonzero(~np.isfinite(r))[0][0]])
+        raise ValueError(f"non-finite interatomic distance involving atom {bad}")
+    return d, r
+
+
 def build_pairs(
     system: AtomSystem,
     neigh: NeighborList,
@@ -96,14 +149,7 @@ def build_pairs(
     """
     i_idx, j_idx = neigh.pairs()
     n_list = i_idx.shape[0]
-    x = system.x
-    d = system.box.minimum_image(x[j_idx] - x[i_idx])
-    r = np.sqrt(np.einsum("ij,ij->i", d, d))
-    if not np.isfinite(r).all():
-        # NaN/inf distances compare False against every cutoff and would
-        # be *silently dropped* by the filter — fail loudly instead
-        bad = int(i_idx[np.nonzero(~np.isfinite(r))[0][0]])
-        raise ValueError(f"non-finite interatomic distance involving atom {bad}")
+    d, r = pair_geometry(system.x, system.box, i_idx, j_idx)
     ti = system.type[i_idx].astype(np.int64)
     tj = system.type[j_idx].astype(np.int64)
     pair_flat = (ti * flat.ntypes + tj) * flat.ntypes + tj

@@ -15,12 +15,23 @@ sums.  Algorithm 3's structural ideas are all present:
 Supports double / single / mixed precision (Sec. V-E Opt-D/S/M): the
 computational batches genuinely run in the compute dtype; accumulation
 (segmented sums, energy) runs in the accumulate dtype.
+
+Staging is step-persistent by default: a
+:class:`~repro.core.tersoff.cache.InteractionCache` keyed on the
+neighbor-list version and the cutoff masks reuses the filtered
+topology, triplet expansion and parameter gathers between neighbor
+rebuilds, recomputing only geometry each call (bit-for-bit identical
+to the cold path; ``cache=False`` restores the old per-call staging
+for ablation).
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro.core.tersoff.cache import InteractionCache, Staging, segsum3
 from repro.core.tersoff.functional import (
     b_order,
     b_order_d,
@@ -35,20 +46,13 @@ from repro.core.tersoff.functional import (
     zeta_exp,
     zeta_exp_d_over,
 )
+from repro.core.tersoff.kernels import PROD_PAIR_FIELDS, PROD_TRIPLET_FIELDS, gather_flat
 from repro.core.tersoff.parameters import TersoffParams
 from repro.core.tersoff.prepare import build_pairs, build_triplets
 from repro.md.atoms import AtomSystem
 from repro.md.neighbor import NeighborList
 from repro.md.potential import ForceResult, Potential
 from repro.vector.precision import Precision
-
-
-def _bincount3(idx: np.ndarray, vec: np.ndarray, n: int, out_dtype) -> np.ndarray:
-    """Segmented sum of (T,3) vectors by index, returned as (n,3)."""
-    out = np.empty((n, 3), dtype=np.float64)
-    for axis in range(3):
-        out[:, axis] = np.bincount(idx, weights=vec[:, axis], minlength=n)
-    return out.astype(out_dtype, copy=False)
 
 
 class TersoffProduction(Potential):
@@ -61,11 +65,21 @@ class TersoffProduction(Potential):
     precision:
         ``"double"`` (Opt-D), ``"single"`` (Opt-S) or ``"mixed"``
         (Opt-M).
+    cache:
+        Step-persistent interaction cache (default on).  ``False``
+        restores the old stage-everything-per-call behaviour; results
+        are bit-for-bit identical either way.
     """
 
     needs_full_list = True
 
-    def __init__(self, params: TersoffParams, *, precision: Precision | str = Precision.DOUBLE):
+    def __init__(
+        self,
+        params: TersoffParams,
+        *,
+        precision: Precision | str = Precision.DOUBLE,
+        cache: bool = True,
+    ):
         self.params = params
         self.precision = Precision.parse(precision)
         self.cutoff = params.max_cutoff
@@ -78,82 +92,113 @@ class TersoffProduction(Potential):
         }
         self._p_m = self._flat.m  # integer-ish selector, keep double
         self._nt = self._flat.ntypes
+        self.cache_enabled = bool(cache)
+        self._cache = InteractionCache() if cache else None
+
+    @property
+    def cache_stats(self):
+        """The cumulative :class:`CacheStats`, or ``None`` when off."""
+        return self._cache.stats if self._cache is not None else None
+
+    def _stage_cold(self, system: AtomSystem, neigh: NeighborList) -> Staging:
+        """The original per-call staging (``cache=False`` ablation path)."""
+        flat = self._flat
+        pairs = build_pairs(system, neigh, flat, cutoff="pair")
+        kcand = build_pairs(system, neigh, flat, cutoff="max")
+        tri = build_triplets(pairs, kcand)
+        tp, tk = tri.tri_pair, tri.tri_k
+        tflat = (pairs.ti[tp] * self._nt + pairs.tj[tp]) * self._nt + kcand.tj[tk]
+        return Staging(
+            pairs=pairs, kcand=kcand, tri=tri, tflat=tflat,
+            pair_p=gather_flat(self._p, pairs.pair_flat, PROD_PAIR_FIELDS),
+            tri_p=gather_flat(self._p, tflat, PROD_TRIPLET_FIELDS),
+            m_t=self._p_m[tflat],
+            idx3={},
+        )
 
     def compute(self, system: AtomSystem, neigh: NeighborList) -> ForceResult:
         self.check_list(neigh)
         if system.species != self.params.species:
             raise ValueError("system species do not match parameterization")
+        t0 = time.perf_counter()
+        if self._cache is not None:
+            st = self._cache.prepare(system, neigh, self._flat, self._p, self._p_m)
+            cache_info = {"enabled": True, "list_version": neigh.version,
+                          **self._cache.stats.as_dict()}
+        else:
+            st = self._stage_cold(system, neigh)
+            cache_info = {"enabled": False}
+        t1 = time.perf_counter()
+        result = self._evaluate(st, system.n)
+        t2 = time.perf_counter()
+        result.stats["cache"] = cache_info
+        result.stats["timing"] = {"staging_s": t1 - t0, "kernel_s": t2 - t1}
+        return result
+
+    def _evaluate(self, st: Staging, n: int) -> ForceResult:
         cd = self.precision.compute_dtype
         ad = self.precision.accum_dtype
-        flat = self._flat
-        p = self._p
-        n = system.n
+        pairs, kcand, tri = st.pairs, st.kcand, st.tri
+        pp, tpars = st.pair_p, st.tri_p
+        idx3 = st.idx3
 
-        # ---- filter component -------------------------------------------------
-        pairs = build_pairs(system, neigh, flat, cutoff="pair")
         P = pairs.n_pairs
         if P == 0:
             return ForceResult(energy=0.0, forces=np.zeros((n, 3)), virial=0.0,
                                stats={"pairs_in_cutoff": 0, "triples": 0,
                                       "filter_efficiency": pairs.filter_efficiency,
                                       "virial_tensor": np.zeros((3, 3))})
-        kcand = build_pairs(system, neigh, flat, cutoff="max")
-        tri = build_triplets(pairs, kcand)
         T = tri.n_triplets
 
         # compute-dtype views of the geometry
-        d_ij = pairs.d.astype(cd)
-        r_ij = pairs.r.astype(cd)
-        pf = pairs.pair_flat
+        d_ij = pairs.d.astype(cd, copy=False)
+        r_ij = pairs.r.astype(cd, copy=False)
 
         # ---- zeta accumulation over triplets ----------------------------------
         tp = tri.tri_pair
         tk = tri.tri_k
         if T:
-            ti_t = pairs.ti[tp]
-            tj_t = pairs.tj[tp]
-            tk_t = kcand.tj[tk]
-            tflat = (ti_t * self._nt + tj_t) * self._nt + tk_t
-            d_ik = kcand.d[tk].astype(cd)
-            r_ik = kcand.r[tk].astype(cd)
+            d_ik = kcand.d[tk].astype(cd, copy=False)
+            r_ik = kcand.r[tk].astype(cd, copy=False)
             rij_t = r_ij[tp]
             dij_t = d_ij[tp]
             cos_t = np.einsum("ij,ij->i", dij_t, d_ik) / (rij_t * r_ik)
 
-            R_t, D_t = p["R"][tflat], p["D"][tflat]
+            R_t, D_t = tpars["R"], tpars["D"]
             fc_ik = f_c(r_ik, R_t, D_t)
             fc_d_ik = f_c_d(r_ik, R_t, D_t)
-            g_t = g_angle(cos_t, p["gamma"][tflat], p["c"][tflat], p["d"][tflat], p["h"][tflat])
-            g_d_t = g_angle_d(cos_t, p["gamma"][tflat], p["c"][tflat], p["d"][tflat], p["h"][tflat])
-            ex_t = zeta_exp(rij_t, r_ik, p["lam3"][tflat], self._p_m[tflat])
-            ex_ld_t = zeta_exp_d_over(rij_t, r_ik, p["lam3"][tflat], self._p_m[tflat])
+            g_t = g_angle(cos_t, tpars["gamma"], tpars["c"], tpars["d"], tpars["h"])
+            g_d_t = g_angle_d(cos_t, tpars["gamma"], tpars["c"], tpars["d"], tpars["h"])
+            ex_t = zeta_exp(rij_t, r_ik, tpars["lam3"], st.m_t)
+            ex_ld_t = zeta_exp_d_over(rij_t, r_ik, tpars["lam3"], st.m_t)
             zeta_contrib = fc_ik * g_t * ex_t
-            zeta = np.bincount(tp, weights=zeta_contrib.astype(np.float64), minlength=P).astype(cd)
+            zeta = np.bincount(tp, weights=zeta_contrib.astype(np.float64, copy=False),
+                               minlength=P).astype(cd)
         else:
             zeta = np.zeros(P, dtype=cd)
 
         # ---- pair terms ---------------------------------------------------------
-        fc_ij = f_c(r_ij, p["R"][pf], p["D"][pf])
-        fc_d_ij = f_c_d(r_ij, p["R"][pf], p["D"][pf])
-        fr = f_r(r_ij, p["A"][pf], p["lam1"][pf])
-        fr_d = f_r_d(r_ij, p["A"][pf], p["lam1"][pf])
-        fa = f_a(r_ij, p["B"][pf], p["lam2"][pf])
-        fa_d = f_a_d(r_ij, p["B"][pf], p["lam2"][pf])
-        bij = b_order(zeta, p["beta"][pf], p["n"][pf], p["c1"][pf], p["c2"][pf], p["c3"][pf], p["c4"][pf])
-        bij_d = b_order_d(zeta, p["beta"][pf], p["n"][pf], p["c1"][pf], p["c2"][pf], p["c3"][pf], p["c4"][pf])
+        fc_ij = f_c(r_ij, pp["R"], pp["D"])
+        fc_d_ij = f_c_d(r_ij, pp["R"], pp["D"])
+        fr = f_r(r_ij, pp["A"], pp["lam1"])
+        fr_d = f_r_d(r_ij, pp["A"], pp["lam1"])
+        fa = f_a(r_ij, pp["B"], pp["lam2"])
+        fa_d = f_a_d(r_ij, pp["B"], pp["lam2"])
+        bij = b_order(zeta, pp["beta"], pp["n"], pp["c1"], pp["c2"], pp["c3"], pp["c4"])
+        bij_d = b_order_d(zeta, pp["beta"], pp["n"], pp["c1"], pp["c2"], pp["c3"], pp["c4"])
 
         e_pair = 0.5 * fc_ij * (fr + bij * fa)
         dE_dr = 0.5 * (fc_d_ij * (fr + bij * fa) + fc_ij * (fr_d + bij * fa_d))
         fpair = -dE_dr / r_ij  # force-over-distance on the pair
         prefactor = 0.5 * fc_ij * fa * bij_d  # dV/dzeta
 
-        energy = float(np.sum(e_pair.astype(ad)))
-        fvec = fpair[:, None] * d_ij
+        energy = float(np.sum(e_pair.astype(ad, copy=False)))
+        fvec = (fpair[:, None] * d_ij).astype(np.float64, copy=False)
         forces64 = np.zeros((n, 3))
-        forces64 -= _bincount3(pairs.i_idx, fvec.astype(np.float64), n, np.float64)
-        forces64 += _bincount3(pairs.j_idx, fvec.astype(np.float64), n, np.float64)
+        forces64 -= segsum3(pairs.i_idx, fvec, n, np.float64, idx3=idx3.get("pair_i"))
+        forces64 += segsum3(pairs.j_idx, fvec, n, np.float64, idx3=idx3.get("pair_j"))
         # full virial tensor W_ab = sum d_a F_b (pair part: F on j is fvec)
-        stress = np.einsum("ia,ib->ab", pairs.d, fvec.astype(np.float64))
+        stress = np.einsum("ia,ib->ab", pairs.d, fvec)
         virial = float(np.trace(stress))
 
         # ---- triplet force terms --------------------------------------------------
@@ -170,19 +215,20 @@ class TersoffProduction(Potential):
             dzeta_dk = (fc_d_ik * g_t * ex_t - fc_g_ex * ex_ld_t)[:, None] * hat_ik + fc_gd_ex[:, None] * dcos_dk
             dzeta_di = -(dzeta_dj + dzeta_dk)
 
-            fi = (pre_t[:, None] * dzeta_di).astype(np.float64)
-            fj = (pre_t[:, None] * dzeta_dj).astype(np.float64)
-            fk = (pre_t[:, None] * dzeta_dk).astype(np.float64)
-            forces64 -= _bincount3(pairs.i_idx[tp], fi, n, np.float64)
-            forces64 -= _bincount3(pairs.j_idx[tp], fj, n, np.float64)
-            forces64 -= _bincount3(kcand.j_idx[tk], fk, n, np.float64)
+            fi = (pre_t[:, None] * dzeta_di).astype(np.float64, copy=False)
+            fj = (pre_t[:, None] * dzeta_dj).astype(np.float64, copy=False)
+            fk = (pre_t[:, None] * dzeta_dk).astype(np.float64, copy=False)
+            forces64 -= segsum3(pairs.i_idx[tp], fi, n, np.float64, idx3=idx3.get("tri_i"))
+            forces64 -= segsum3(pairs.j_idx[tp], fj, n, np.float64, idx3=idx3.get("tri_j"))
+            forces64 -= segsum3(kcand.j_idx[tk], fk, n, np.float64, idx3=idx3.get("tri_k"))
             # triplet virial: F on j is -fj, on k is -fk (relative to i)
             stress -= np.einsum("ia,ib->ab", pairs.d[tp], fj)
             stress -= np.einsum("ia,ib->ab", kcand.d[tk], fk)
             virial = float(np.trace(stress))
 
         # per-atom energies: every ordered pair's half-energy belongs to i
-        per_atom_energy = np.bincount(pairs.i_idx, weights=e_pair.astype(np.float64), minlength=n)
+        per_atom_energy = np.bincount(pairs.i_idx, weights=e_pair.astype(np.float64, copy=False),
+                                      minlength=n)
         stats = {
             "pairs_in_cutoff": P,
             "triples": T,

@@ -162,6 +162,12 @@ class NeighborList:
         ``neighbors[offsets[i]:offsets[i+1]]``.
     n_builds:
         How many times the list has been (re)built.
+    version:
+        Monotonic counter bumped on every :meth:`build`.  Anything
+        derived from the list *topology* (pair expansions, triplet
+        layouts, parameter gathers) is valid exactly as long as the
+        version it was computed against — the interaction cache
+        (:mod:`repro.core.tersoff.cache`) keys on it.
     """
 
     def __init__(self, settings: NeighborSettings):
@@ -169,6 +175,7 @@ class NeighborList:
         self.neighbors = np.empty(0, dtype=np.int32)
         self.offsets = np.zeros(1, dtype=np.int64)
         self.n_builds = 0
+        self.version = 0
         self._x_ref: np.ndarray | None = None
         self._box: Box | None = None
 
@@ -202,6 +209,7 @@ class NeighborList:
         self.offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(np.bincount(i_idx, minlength=n), out=self.offsets[1:])
         self.n_builds += 1
+        self.version += 1
         self._x_ref = x.copy()
         self._box = box
 

@@ -210,10 +210,10 @@ def _opt(params):
     return TersoffOptimized(params, kmax=8)
 
 
-def _prod(params, precision="double"):
+def _prod(params, precision="double", cache=True):
     from repro.core.tersoff.production import TersoffProduction
 
-    return TersoffProduction(params, precision=precision)
+    return TersoffProduction(params, precision=precision, cache=cache)
 
 
 # The per-atom reference loop is the slowest path; keep it out of the
@@ -225,6 +225,38 @@ _kernel_case("kernel/optimized-64", _opt, 2, repeats=12)
 _kernel_case("kernel/production-64", _prod, 2)
 _kernel_case("kernel/production-512", _prod, 4)
 _kernel_case("kernel/production-mixed-512", lambda p: _prod(p, "mixed"), 4, smoke=False)
+# Interaction-cache ablation: the same workload with step-persistent
+# staging disabled (the pre-cache behaviour).  Warn tier: its job is to
+# show the on/off split in every artifact, not to gate.
+_kernel_case("kernel/production-512-cache-off", lambda p: _prod(p, cache=False), 4,
+             tier="warn")
+
+
+# Fused segmented sum (one bincount over idx*3+axis) vs the old
+# three-pass per-axis loop, on a triplet-sized workload.  Warn tier,
+# non-smoke: a micro-benchmark for the kernel ladder, not a CI gate.
+
+def _segsum_case(variant: str) -> None:
+    def setup() -> Callable[[], Any]:
+        import numpy as np
+
+        from repro.core.tersoff.cache import idx3_of, segsum3, segsum3_loop
+
+        rng = np.random.default_rng(7)
+        t, n = 200_000, 4096
+        idx = np.sort(rng.integers(0, n, size=t)).astype(np.int64)
+        vec = rng.standard_normal((t, 3))
+        if variant == "fused":
+            i3 = idx3_of(idx)
+            return lambda: segsum3(idx, vec, n, idx3=i3)
+        return lambda: segsum3_loop(idx, vec, n)
+
+    register(BenchCase(name=f"kernel/segsum3-{variant}", setup=setup,
+                       tier="warn", smoke=False))
+
+
+_segsum_case("fused")
+_segsum_case("loop")
 
 
 # ---- substrate/* : neighbor-list builds -------------------------------------
@@ -252,7 +284,7 @@ _neighbor_case(8, smoke=False)   # 4096 atoms
 
 # ---- md/* : one full timestep with the stage-timer breakdown ----------------
 
-def _md_step_setup() -> Callable[[], Any]:
+def _md_step_setup(cache: bool = True) -> Callable[[], Any]:
     from repro.md.lattice import seeded_velocities
     from repro.md.neighbor import NeighborSettings
     from repro.md.simulation import Simulation
@@ -260,17 +292,33 @@ def _md_step_setup() -> Callable[[], Any]:
     params, system, _ = si_workload(4)
     sys2 = system.copy()
     seeded_velocities(sys2, 300.0, seed=3)
-    sim = Simulation(sys2, _prod(params),
+    sim = Simulation(sys2, _prod(params, cache=cache),
                      neighbor=NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
     sim.compute_forces()
     return lambda: (sim.run(1), sim)[1]
 
 
+def _md_step_extra(sim) -> dict:
+    extra = {"stage_seconds": sim.timers.as_dict(),
+             "stage_breakdown": sim.timers.breakdown()}
+    if sim.last_result is not None and "cache" in sim.last_result.stats:
+        extra["cache"] = dict(sim.last_result.stats["cache"])
+    return extra
+
+
 register(BenchCase(
     name="md/step-512",
     setup=_md_step_setup,
-    extra=lambda sim: {"stage_seconds": sim.timers.as_dict(),
-                       "stage_breakdown": sim.timers.breakdown()},
+    extra=_md_step_extra,
+))
+
+# The cache=off MD step: the committed pre-cache behaviour, kept so
+# every artifact records the ablation next to the cached number.
+register(BenchCase(
+    name="md/step-512-cache-off",
+    setup=lambda: _md_step_setup(cache=False),
+    tier="warn",
+    extra=_md_step_extra,
 ))
 
 
