@@ -1,0 +1,142 @@
+"""Committed baseline of grandfathered lint findings.
+
+The baseline lets ``repro lint`` gate *new* contract violations hard in
+CI while the (small, justified) set of pre-existing or intentionally
+exempt findings stays visible in one reviewed file instead of littering
+the kernels with suppression comments.
+
+Fingerprinting is content-based — ``(rule, path, stripped source
+line)`` with multiplicity — so pure line-number drift (code added above
+a grandfathered site) does not invalidate the baseline, while any edit
+to the offending line itself surfaces the finding again for re-review.
+
+Every entry carries a mandatory one-line ``justification``; an entry
+whose finding no longer exists is reported as *stale* so the baseline
+shrinks monotonically.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.rules import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+
+class BaselineError(RuntimeError):
+    """Malformed baseline file."""
+
+
+@dataclass
+class BaselineEntry:
+    rule: str
+    path: str
+    code: str
+    justification: str
+    count: int = 1
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "code": self.code,
+            "count": self.count,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def budget(self) -> Counter:
+        """fingerprint -> how many findings it absorbs."""
+        budget: Counter = Counter()
+        for e in self.entries:
+            budget[e.fingerprint()] += e.count
+        return budget
+
+    def apply(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Split findings into (new, baselined); also return stale entries.
+
+        Findings are consumed against the per-fingerprint budget in
+        source order, so a file gaining a *second* copy of a
+        grandfathered line still fails the gate.
+        """
+        budget = self.budget()
+        new: list[Finding] = []
+        baselined: list[Finding] = []
+        for f in findings:
+            fp = f.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                baselined.append(f)
+            else:
+                new.append(f)
+        used = self.budget()
+        used.subtract(budget)  # used = original - remaining
+        stale = [e for e in self.entries if used.get(e.fingerprint(), 0) <= 0]
+        return new, baselined, stale
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    try:
+        data = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise BaselineError(f"{path}: expected a baseline object with version={BASELINE_VERSION}")
+    entries = []
+    for raw in data.get("findings", []):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=raw["rule"],
+                    path=raw["path"],
+                    code=raw["code"],
+                    justification=raw["justification"],
+                    count=int(raw.get("count", 1)),
+                )
+            )
+        except KeyError as exc:
+            raise BaselineError(
+                f"{path}: baseline entry missing required key {exc} "
+                "(rule/path/code/justification are mandatory)"
+            ) from exc
+    return Baseline(entries=entries)
+
+
+def write_baseline(
+    path: Path | str, findings: list[Finding], *, justification: str = "TODO: justify"
+) -> Baseline:
+    """Write a baseline that absorbs exactly ``findings``.
+
+    Fingerprint multiplicity is collapsed into ``count``; each entry
+    gets a placeholder justification the committer must edit — the
+    baseline is a reviewed artifact, not a dumping ground.
+    """
+    counts: Counter = Counter(f.fingerprint() for f in findings)
+    entries = [
+        BaselineEntry(rule=rule, path=p, code=code, justification=justification, count=n)
+        for (rule, p, code), n in sorted(counts.items())
+    ]
+    baseline = Baseline(entries=entries)
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [e.as_dict() for e in baseline.entries],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return baseline

@@ -1,0 +1,103 @@
+"""``repro lint`` — the kernel-contract gate.
+
+Text output for humans, ``--format=json`` for CI, and the exit-code
+contract the workflows rely on: 0 clean, 1 new findings, 2 engine
+error.  ``--update-baseline`` rewrites the committed grandfathered set
+(entries get placeholder justifications that must be edited before
+commit).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis import engine
+from repro.analysis.rules import ALL_RULES
+
+
+def add_lint_parser(sub) -> None:
+    """Register the ``lint`` subcommand on the top-level CLI."""
+    p = sub.add_parser("lint", help="kernel-contract static analysis (KA001-KA005)")
+    p.add_argument("paths", nargs="*", default=None,
+                   help="files/directories to check (default: the installed repro package)")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--baseline", default=None,
+                   help=f"baseline file (default: <repo>/{baseline_mod.DEFAULT_BASELINE_NAME})")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="ignore the baseline; report every finding as new")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="rewrite the baseline to absorb all current findings")
+    p.add_argument("--rules", default=None,
+                   help="comma-separated rule ids to run (default: all)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="describe the rules and exit")
+    p.set_defaults(func=cmd_lint)
+
+
+def _render_text(result: engine.LintResult, *, verbose_baseline: bool = False) -> str:
+    lines: list[str] = []
+    for f in result.findings:
+        lines.append(f.render())
+    for entry in result.stale_baseline:
+        lines.append(
+            f"warning: stale baseline entry {entry.rule} {entry.path} "
+            f"({entry.code!r} no longer found) — remove it"
+        )
+    s = result.summary()
+    lines.append(
+        f"repro lint: {result.files_checked} files, {s['new']} new finding(s), "
+        f"{s['baselined']} baselined, {s['suppressed']} suppressed"
+        + (f", {s['stale_baseline']} stale baseline entrie(s)" if s["stale_baseline"] else "")
+    )
+    if result.errors:
+        lines.extend(f"error: {e}" for e in result.errors)
+    return "\n".join(lines)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id} ({rule.name})")
+            print(f"    {rule.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths] if args.paths else None
+    enabled = None
+    if args.rules:
+        enabled = tuple(tok.strip().upper() for tok in args.rules.split(",") if tok.strip())
+        unknown = [r for r in enabled if r not in {rule.id for rule in ALL_RULES}]
+        if unknown:
+            print(f"repro lint: unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    config = engine.LintConfig(enabled_rules=enabled)
+
+    baseline_path = Path(args.baseline) if args.baseline else engine.default_baseline_path()
+
+    if args.update_baseline:
+        result = engine.run_lint(paths, config=config, baseline=None)
+        if result.errors:
+            print(_render_text(result), file=sys.stderr)
+            return 2
+        baseline_mod.write_baseline(baseline_path, result.findings)
+        print(f"wrote {baseline_path} ({len(result.findings)} finding(s) grandfathered); "
+              "edit the placeholder justifications before committing")
+        return 0
+
+    baseline = None
+    if not args.no_baseline:
+        try:
+            baseline = baseline_mod.load_baseline(baseline_path)
+        except baseline_mod.BaselineError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+
+    result = engine.run_lint(paths, config=config, baseline=baseline)
+    if args.format == "json":
+        print(json.dumps(result.as_dict(), indent=2))
+    else:
+        print(_render_text(result))
+    return result.exit_code

@@ -1,0 +1,223 @@
+"""Rule engine: file discovery, suppressions, baseline, result assembly.
+
+The engine walks python sources, classifies each module (kernel module?
+scatter-exempt?), parses it once, runs every enabled rule over the
+shared :class:`~repro.analysis.rules.ModuleContext`, then filters the
+raw findings through two mechanisms:
+
+1. **suppressions** — ``# repro-lint: disable=KA001`` (comma-separated
+   rule ids, or ``all``) on the offending line silences it in place;
+   ``# repro-lint: disable-file=KA004`` on its own line anywhere in the
+   file silences a rule for the whole module.  Suppressions are for
+   intentional, locally-explained exceptions;
+2. **baseline** — the committed grandfathered set
+   (:mod:`repro.analysis.baseline`), for pre-existing findings that are
+   tracked for eventual burn-down instead of being endorsed in-line.
+
+Exit-code contract (used verbatim by CI): 0 = clean (baselined findings
+allowed), 1 = new findings, 2 = engine/configuration error.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineEntry,
+    load_baseline,
+)
+from repro.analysis.rules import ALL_RULES, Finding, Rule, make_context
+
+# re-export for `from repro.analysis import Finding`
+__all__ = ["Finding", "LintConfig", "LintResult", "run_lint", "repo_root", "default_paths"]
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass
+class LintConfig:
+    """What to check and where the contracts apply.
+
+    ``kernel_modules`` / ``scatter_exempt_modules`` are matched as
+    posix-path substrings against the repo-relative module path; the
+    defaults encode this repository's layout and can be overridden in
+    tests (``kernel_modules=("",)`` makes everything a kernel module).
+    """
+
+    kernel_modules: tuple[str, ...] = (
+        "repro/core/",
+        "repro/vector/backend.py",
+        "repro/md/pair_lj_vectorized.py",
+    )
+    scatter_exempt_modules: tuple[str, ...] = ("repro/vector/backend.py",)
+    enabled_rules: tuple[str, ...] | None = None  # None = all
+
+    def rules(self) -> tuple[Rule, ...]:
+        if self.enabled_rules is None:
+            return ALL_RULES
+        return tuple(r for r in ALL_RULES if r.id in self.enabled_rules)
+
+    def classify(self, rel_path: str) -> tuple[bool, bool]:
+        rel = rel_path.replace("\\", "/")
+        kernel = any(pat in rel for pat in self.kernel_modules)
+        exempt = any(pat in rel for pat in self.scatter_exempt_modules)
+        return kernel, exempt
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: list[Finding] = field(default_factory=list)  # new (gate-failing)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: list[BaselineEntry] = field(default_factory=list)
+    files_checked: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+    def as_dict(self) -> dict:
+        return {
+            "version": 1,
+            "files_checked": self.files_checked,
+            "findings": [f.as_dict() for f in self.findings],
+            "baselined": [f.as_dict() for f in self.baselined],
+            "suppressed_count": len(self.suppressed),
+            "stale_baseline": [e.as_dict() for e in self.stale_baseline],
+            "errors": self.errors,
+            "summary": self.summary(),
+        }
+
+    def summary(self) -> dict:
+        by_rule: dict[str, int] = {}
+        for f in self.findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        return {
+            "new": len(self.findings),
+            "baselined": len(self.baselined),
+            "suppressed": len(self.suppressed),
+            "stale_baseline": len(self.stale_baseline),
+            "by_rule": by_rule,
+            "exit_code": self.exit_code,
+        }
+
+
+def repo_root() -> Path:
+    """The repository root (parent of ``src/``), best effort."""
+    here = Path(__file__).resolve()
+    for ancestor in here.parents:
+        if (ancestor / "src" / "repro").is_dir() or (ancestor / ".git").is_dir():
+            return ancestor
+    return here.parents[3]
+
+
+def default_paths() -> list[Path]:
+    return [Path(__file__).resolve().parents[1]]  # src/repro
+
+
+def default_baseline_path() -> Path:
+    return repo_root() / DEFAULT_BASELINE_NAME
+
+
+def _iter_sources(paths: list[Path]) -> list[Path]:
+    files: list[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            files.append(p)
+    return files
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _parse_suppressions(source_lines: list[str]) -> tuple[dict[int, set[str]], set[str]]:
+    """(lineno -> suppressed rule ids, file-wide suppressed rule ids)."""
+    per_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    for i, line in enumerate(source_lines, start=1):
+        m = _SUPPRESS_FILE_RE.search(line)
+        if m:
+            file_wide |= {tok.strip().upper() for tok in m.group(1).split(",") if tok.strip()}
+            continue
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            per_line[i] = {tok.strip().upper() for tok in m.group(1).split(",") if tok.strip()}
+    return per_line, file_wide
+
+
+def _is_suppressed(f: Finding, per_line: dict[int, set[str]], file_wide: set[str]) -> bool:
+    if "ALL" in file_wide or f.rule in file_wide:
+        return True
+    rules = per_line.get(f.line)
+    return rules is not None and ("ALL" in rules or f.rule in rules)
+
+
+def run_lint(
+    paths: list[Path] | None = None,
+    *,
+    config: LintConfig | None = None,
+    baseline: Baseline | Path | str | None = None,
+    root: Path | None = None,
+) -> LintResult:
+    """Run every enabled rule over ``paths`` and assemble a result.
+
+    ``baseline`` may be a loaded :class:`Baseline`, a path to one, or
+    ``None`` for no baseline.  ``root`` anchors the repo-relative paths
+    used in findings and baseline fingerprints (defaults to the
+    repository root).
+    """
+    config = config or LintConfig()
+    paths = paths if paths is not None else default_paths()
+    root = (root or repo_root()).resolve()
+    if isinstance(baseline, (str, Path)):
+        baseline = load_baseline(baseline)
+
+    result = LintResult()
+    raw: list[Finding] = []
+    for path in _iter_sources(paths):
+        rel = _rel_path(path, root)
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            result.errors.append(f"{rel}: unreadable ({exc})")
+            continue
+        kernel, exempt = config.classify(rel)
+        try:
+            ctx = make_context(rel, source, is_kernel_module=kernel, is_scatter_exempt=exempt)
+        except SyntaxError as exc:
+            result.errors.append(f"{rel}: syntax error at line {exc.lineno}: {exc.msg}")
+            continue
+        result.files_checked += 1
+        per_line, file_wide = _parse_suppressions(ctx.source_lines)
+        for rule in config.rules():
+            for f in rule.check(ctx):
+                if _is_suppressed(f, per_line, file_wide):
+                    result.suppressed.append(f)
+                else:
+                    raw.append(f)
+
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if baseline is not None:
+        new, baselined, stale = baseline.apply(raw)
+        result.findings = new
+        result.baselined = baselined
+        result.stale_baseline = stale
+    else:
+        result.findings = raw
+    return result

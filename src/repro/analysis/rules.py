@@ -1,0 +1,457 @@
+"""The kernel-contract rules (KA001–KA005).
+
+Each rule checks one invariant the paper's toolchain enforced by
+construction and this repository previously enforced only by prose:
+
+========  ==============================================================
+KA001     array constructors without an explicit ``dtype=`` in
+          kernel/production modules (dtype discipline, DESIGN.md §6)
+KA002     float64-promoting operations inside precision-parameterized
+          kernels that bypass ``Precision.compute_dtype``
+          (Sec. V-D/E: precision modes are *derived*, never hardcoded)
+KA003     raw allocations inside ``@hot_path`` functions that bypass
+          the PR-2 ``Workspace`` (steady-state force calls must not
+          allocate)
+KA004     ``divide``/``sqrt``/``log``/``power`` in masked kernels not
+          enclosed in ``np.errstate(...)`` with ``np.where(mask, ...)``
+          sanitization (Fig. 1: masked-off lanes must never poison
+          results)
+KA005     raw ``np.add.at`` outside the approved
+          ``repro.vector.backend`` scatter helpers (conflict-safe
+          accumulation is a named building block, Sec. V-A (3))
+========  ==============================================================
+
+Rules are pure functions over a :class:`ModuleContext`; they never
+modify state, so the engine can run any subset in any order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.dataflow import (
+    FunctionInfo,
+    build_parent_map,
+    call_name,
+    collect_functions,
+    dtype_argument,
+    enclosing_sink_call,
+    is_float64_expr,
+    is_np_attr_call,
+    walk_own,
+)
+
+#: constructors covered by the dtype rule and their first possible
+#: positional index of the dtype argument (None = keyword only).
+_CONSTRUCTOR_DTYPE_POS = {
+    "zeros": 1,
+    "empty": 1,
+    "ones": 1,
+    "full": 2,
+    "arange": None,
+}
+
+_RISKY_MATH = frozenset({"divide", "true_divide", "sqrt", "log", "log2", "log10", "power"})
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative posix path
+    line: int
+    col: int
+    message: str
+    code: str  # stripped source line (baseline fingerprint component)
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.code)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "code": self.code,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str  # repo-relative posix path
+    tree: ast.Module
+    source_lines: list[str]
+    is_kernel_module: bool
+    is_scatter_exempt: bool
+    functions: list[FunctionInfo] = field(default_factory=list)
+    _parents: dict[ast.AST, ast.AST] | None = None
+
+    @property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            self._parents = build_parent_map(self.tree)
+        return self._parents
+
+    def line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.source_lines):
+            return self.source_lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=node.lineno,
+            col=node.col_offset + 1,
+            message=message,
+            code=self.line(node.lineno),
+        )
+
+
+class Rule:
+    """Base: ``id``/``name``/``description`` plus a ``check`` generator."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # pragma: no cover
+        raise NotImplementedError
+
+
+def _has_explicit_dtype(node: ast.Call, ctor: str) -> bool:
+    if dtype_argument(node) is not None:
+        return True
+    pos = _CONSTRUCTOR_DTYPE_POS[ctor]
+    return pos is not None and len(node.args) > pos
+
+
+class DtypeDisciplineRule(Rule):
+    id = "KA001"
+    name = "dtype-discipline"
+    description = (
+        "np.zeros/empty/ones/full/arange without explicit dtype= in "
+        "kernel/production modules; default float64 silently breaks the "
+        "derived precision modes (Sec. V-D/E)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_kernel_module:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name not in _CONSTRUCTOR_DTYPE_POS:
+                continue
+            if not is_np_attr_call(node, frozenset(_CONSTRUCTOR_DTYPE_POS)):
+                # bk.zeros(...) etc. carry the backend's dtype by design
+                continue
+            if not _has_explicit_dtype(node, name):
+                yield ctx.finding(
+                    self.id, node, f"np.{name}(...) without explicit dtype= in a kernel module"
+                )
+
+
+def _enclosing_stmt(node: ast.AST, parents: dict[ast.AST, ast.AST]) -> ast.stmt | None:
+    cur = node
+    while cur is not None and not isinstance(cur, ast.stmt):
+        cur = parents.get(cur)
+    return cur
+
+
+def _target_base_names(stmt: ast.stmt) -> list[str] | None:
+    """Base names assigned by a (possibly subscripted) assignment, or
+    None when a target is something the dataflow cannot name."""
+    if isinstance(stmt, ast.Assign):
+        targets = stmt.targets
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    else:
+        return None
+    names: list[str] = []
+    for t in targets:
+        base = t.value if isinstance(t, ast.Subscript) else t
+        if not isinstance(base, ast.Name):
+            return None
+        names.append(base.id)
+    return names
+
+
+def _flows_to_sink(
+    name: str,
+    fn: FunctionInfo,
+    parents: dict[ast.AST, ast.AST],
+    _depth: int = 0,
+    _seen: frozenset = frozenset(),
+) -> bool:
+    """Does every use of ``name`` end in an accumulation sink?
+
+    A use counts as sunk if it sits inside a sink call (segsum3,
+    bincount, reductions, approved scatters), or if it feeds an
+    assignment whose targets are accumulator-kind names or themselves
+    flow to sinks (bounded transitive closure, depth 3 — enough for the
+    ``fpair -> fvec -> segsum3`` chains in the kernels without turning
+    the lint into a fixpoint solver)."""
+    if fn.kinds.get(name) == "accum":
+        return True
+    if _depth > 3 or name in _seen:
+        return False
+    uses = [
+        n
+        for n in ast.walk(fn.node)
+        if isinstance(n, ast.Name) and n.id == name and isinstance(n.ctx, ast.Load)
+    ]
+    if not uses:
+        return False
+    for use in uses:
+        if enclosing_sink_call(use, parents) is not None:
+            continue
+        stmt = _enclosing_stmt(use, parents)
+        targets = _target_base_names(stmt) if stmt is not None else None
+        if targets and all(
+            _flows_to_sink(t, fn, parents, _depth + 1, _seen | {name}) for t in targets
+        ):
+            continue
+        return False
+    return True
+
+
+class PrecisionPromotionRule(Rule):
+    id = "KA002"
+    name = "precision-promotion"
+    description = (
+        "hardcoded float64 promotion (np.float64(...) constants, "
+        ".astype(np.float64) casts, dtype-less np.array literals) inside "
+        "precision-parameterized kernels, bypassing Precision.compute_dtype; "
+        "casts that only feed accumulation sinks (segmented sums, reductions, "
+        "approved scatters) are allowed — mixed precision accumulates in double"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_kernel_module:
+            return
+        for fn in ctx.functions:
+            if not fn.is_precision_parameterized:
+                continue
+            yield from self._check_function(ctx, fn)
+
+    def _sunk(self, node: ast.AST, parents: dict[ast.AST, ast.AST], fn: FunctionInfo) -> bool:
+        """Value assigned to accumulator names or names that (transitively)
+        feed only accumulation sinks."""
+        stmt = _enclosing_stmt(node, parents)
+        targets = _target_base_names(stmt) if stmt is not None else None
+        return bool(targets) and all(_flows_to_sink(t, fn, parents) for t in targets)
+
+    def _is_sanitized_promotion(self, node: ast.Call, fn: FunctionInfo) -> bool:
+        """``np.where(mask, x, fill).astype(np.float64)`` — the approved
+        sanitize-then-promote hand-off into float64 accumulation."""
+        recv = node.func.value if isinstance(node.func, ast.Attribute) else None
+        if not (isinstance(recv, ast.Call) and call_name(recv) == "where" and recv.args):
+            return False
+        cond = recv.args[0]
+        names = {n.id for n in ast.walk(cond) if isinstance(n, ast.Name)}
+        return bool(names & fn.mask_names) or isinstance(cond, ast.Compare)
+
+    def _check_function(self, ctx: ModuleContext, fn: FunctionInfo) -> Iterator[Finding]:
+        parents = ctx.parents
+        for node in walk_own(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if is_np_attr_call(node, frozenset({"float64", "float32"})):
+                if enclosing_sink_call(node, parents) is None and not self._sunk(node, parents, fn):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"np.{name}(...) constant hardcodes precision in a "
+                        "precision-parameterized kernel; use the compute dtype",
+                    )
+            elif name == "astype" and node.args and is_float64_expr(node.args[0]):
+                if enclosing_sink_call(node, parents) is not None:
+                    continue  # accumulation cast — the mixed-precision contract
+                if self._is_sanitized_promotion(node, fn):
+                    continue
+                if self._sunk(node, parents, fn):
+                    continue
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    ".astype(np.float64) outside an accumulation sink in a "
+                    "precision-parameterized kernel; promote via the precision layer",
+                )
+            elif (
+                name == "array"
+                and is_np_attr_call(node, frozenset({"array"}))
+                and dtype_argument(node) is None
+                and node.args
+                and isinstance(node.args[0], (ast.List, ast.Tuple))
+            ):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "np.array(<literal>) without dtype= defaults to float64 in a "
+                    "precision-parameterized kernel",
+                )
+
+
+class HotPathAllocationRule(Rule):
+    id = "KA003"
+    name = "hot-path-allocation"
+    description = (
+        "raw np.zeros/empty/ones/full allocation inside a @hot_path "
+        "function; steady-state force calls must stage through the "
+        "Workspace arena (zero per-call allocation)"
+    )
+
+    _ALLOCATORS = frozenset({"zeros", "empty", "ones", "full"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for fn in ctx.functions:
+            if not fn.is_hot_path:
+                continue
+            for node in walk_own(fn.node):
+                if (
+                    isinstance(node, ast.Call)
+                    and is_np_attr_call(node, self._ALLOCATORS)
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"np.{call_name(node)}(...) allocates inside @hot_path "
+                        f"{fn.qualname}; route through Workspace.buf",
+                    )
+
+
+class MaskedMathGuardRule(Rule):
+    id = "KA004"
+    name = "masked-math-guard"
+    description = (
+        "divide/sqrt/log/power (or the / operator on tracked arrays) in a "
+        "masked kernel outside np.errstate(...); masked-off lanes hit "
+        "invalid inputs by design and must be computed under errstate and "
+        "sanitized with np.where(mask, ...)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_kernel_module:
+            return
+        for fn in ctx.functions:
+            if not fn.mask_names:
+                continue
+            yield from self._check_function(ctx, fn)
+
+    def _risky_binop(self, node: ast.BinOp, fn: FunctionInfo) -> bool:
+        if not isinstance(node.op, (ast.Div, ast.Pow)):
+            return False
+        if isinstance(node.op, ast.Pow):
+            # x**2 / x**3 cannot fault; only negative or fractional
+            # exponents behave like divide/sqrt
+            exp = node.right
+            if (
+                isinstance(exp, ast.Constant)
+                and isinstance(exp.value, (int, float))
+                and exp.value >= 1
+                and float(exp.value).is_integer()
+            ):
+                return False
+        for operand in (node.left, node.right):
+            for sub in ast.walk(operand):
+                if isinstance(sub, ast.Name) and fn.kinds.get(sub.id) in (
+                    "compute",
+                    "accum",
+                    "workspace",
+                ):
+                    return True
+        return False
+
+    def _check_function(self, ctx: ModuleContext, fn: FunctionInfo) -> Iterator[Finding]:
+        for node in walk_own(fn.node):
+            risky: str | None = None
+            if isinstance(node, ast.Call) and is_np_attr_call(node, _RISKY_MATH):
+                risky = f"np.{call_name(node)}"
+            elif isinstance(node, ast.BinOp) and self._risky_binop(node, fn):
+                risky = "/" if isinstance(node.op, ast.Div) else "**"
+            if risky is None:
+                continue
+            if fn.in_errstate(node.lineno):
+                continue
+            yield ctx.finding(
+                self.id,
+                node,
+                f"{risky} in masked kernel {fn.qualname} outside np.errstate(...); "
+                "guard it and sanitize masked lanes via np.where(mask, ...)",
+            )
+
+
+class RawScatterRule(Rule):
+    id = "KA005"
+    name = "raw-scatter"
+    description = (
+        "raw np.<ufunc>.at outside repro.vector.backend; conflict-safe "
+        "accumulation must go through the approved scatter helpers "
+        "(scatter_add / scatter_add_rows / segsum3) so the Sec. V-A (3) "
+        "building block stays a single audited site"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.is_scatter_exempt:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "at"
+                and isinstance(func.value, ast.Attribute)
+                and isinstance(func.value.value, ast.Name)
+                and func.value.value.id in ("np", "numpy")
+            ):
+                ufunc = func.value.attr
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"raw np.{ufunc}.at; use repro.vector.backend.scatter_add / "
+                    "scatter_add_rows (or segsum3) instead",
+                )
+
+
+ALL_RULES: tuple[Rule, ...] = (
+    DtypeDisciplineRule(),
+    PrecisionPromotionRule(),
+    HotPathAllocationRule(),
+    MaskedMathGuardRule(),
+    RawScatterRule(),
+)
+
+RULES_BY_ID: dict[str, Rule] = {r.id: r for r in ALL_RULES}
+
+
+def make_context(
+    path: str,
+    source: str,
+    *,
+    is_kernel_module: bool,
+    is_scatter_exempt: bool,
+) -> ModuleContext:
+    tree = ast.parse(source, filename=path)
+    ctx = ModuleContext(
+        path=path,
+        tree=tree,
+        source_lines=source.splitlines(),
+        is_kernel_module=is_kernel_module,
+        is_scatter_exempt=is_scatter_exempt,
+    )
+    ctx.functions = collect_functions(tree)
+    return ctx

@@ -12,6 +12,8 @@ Commands
     The performance-portability sweep (modes x machines).
 ``bench``
     The wall-clock regression harness: run / baseline / compare / list.
+``lint``
+    The kernel-contract static analyzer (rules KA001-KA005).
 """
 
 from __future__ import annotations
@@ -67,6 +69,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         params = tersoff_si()
         pot = make_solver(params, args.mode)
         cutoff = params.max_cutoff
+    if args.sanitize:
+        from repro.analysis.sanitize import SanitizedPotential
+
+        pot = SanitizedPotential(pot)
+        print("sanitize: FP faults raise, force results NaN-guarded (debug mode)")
     sim = Simulation(system, pot, neighbor=NeighborSettings(cutoff=cutoff, skin=args.skin))
     print(f"{system.n} Si atoms, {args.potential} ({args.mode}), "
           f"{args.steps} steps at {args.temperature:.0f} K")
@@ -263,6 +270,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--potential", choices=("tersoff", "sw"), default="tersoff")
     p_run.add_argument("--skin", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=2016)
+    p_run.add_argument("--sanitize", action="store_true",
+                       help="debug: raise on FP faults and NaN-guard every force result")
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper artifact")
@@ -335,6 +344,10 @@ def build_parser() -> argparse.ArgumentParser:
     pb_list.add_argument("--smoke", action="store_true")
     pb_list.add_argument("--filter", default=None)
     pb_list.set_defaults(func=_cmd_bench_list)
+
+    from repro.analysis.cli import add_lint_parser
+
+    add_lint_parser(sub)
     return parser
 
 

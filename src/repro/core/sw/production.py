@@ -35,7 +35,8 @@ class StillingerWeberProduction(Potential):
         """SW has a single species/cutoff: filter directly on it."""
         i_idx, j_idx = neigh.pairs()
         d = system.box.minimum_image(system.x[j_idx] - system.x[i_idx])
-        r = np.sqrt(np.einsum("ij,ij->i", d, d))
+        # sqrt of a sum of squares: argument is nonnegative by construction
+        r = np.sqrt(np.einsum("ij,ij->i", d, d))  # repro-lint: disable=KA004
         if not np.isfinite(r).all():
             bad = int(i_idx[np.nonzero(~np.isfinite(r))[0][0]])
             raise ValueError(f"non-finite interatomic distance involving atom {bad}")
@@ -55,7 +56,7 @@ class StillingerWeberProduction(Potential):
         pairs = self._pairs(system, neigh)
         P = pairs.n_pairs
         if P == 0:
-            return ForceResult(energy=0.0, forces=np.zeros((n, 3)), virial=0.0,
+            return ForceResult(energy=0.0, forces=np.zeros((n, 3), dtype=np.float64), virial=0.0,
                                stats={"pairs_in_cutoff": 0, "triples": 0})
 
         d_ij = pairs.d.astype(cd)
@@ -63,10 +64,11 @@ class StillingerWeberProduction(Potential):
 
         # ---- two-body -------------------------------------------------------
         e2, de2 = phi2(r_ij, p)
-        fpair = (-0.5 * de2 / r_ij).astype(np.float64)
+        # dense filtered pairs: r_ij > 0 for every retained row
+        fpair = (-0.5 * de2 / r_ij).astype(np.float64)  # repro-lint: disable=KA004
         energy = 0.5 * float(np.sum(e2.astype(np.float64)))
         fvec = fpair[:, None] * pairs.d
-        forces = np.zeros((n, 3))
+        forces = np.zeros((n, 3), dtype=np.float64)
         forces -= segsum3(pairs.i_idx, fvec, n)
         forces += segsum3(pairs.j_idx, fvec, n)
         virial = float(np.sum(fpair * pairs.r * pairs.r))

@@ -31,7 +31,7 @@ class StillingerWeberReference(Potential):
         x = system.x
         box = system.box
         n = system.n
-        forces = np.zeros((n, 3))
+        forces = np.zeros((n, 3), dtype=np.float64)
         energy = 0.0
         virial = 0.0
         n_pairs = 0

@@ -77,13 +77,14 @@ class StillingerWeberVectorized(Potential):
         # ---- scalar filter: in-cutoff pairs, grouped by i -------------------
         i_all, j_all = neigh.pairs()
         d_all = system.box.minimum_image(system.x[j_all] - system.x[i_all])
-        r_all = np.sqrt(np.einsum("ij,ij->i", d_all, d_all))
+        # sqrt of a sum of squares: argument is nonnegative by construction
+        r_all = np.sqrt(np.einsum("ij,ij->i", d_all, d_all))  # repro-lint: disable=KA004
         if not np.isfinite(r_all).all():
             raise ValueError("non-finite interatomic distance")
         keep = r_all < p.cut
         i_idx, j_idx, d, r = i_all[keep], j_all[keep], d_all[keep], r_all[keep]
         P = i_idx.shape[0]
-        forces = np.zeros((n, 3))
+        forces = np.zeros((n, 3), dtype=np.float64)
         if P == 0:
             return ForceResult(energy=0.0, forces=forces, virial=0.0,
                                stats=self._stats(bk, 0, int(i_all.shape[0])))
@@ -95,7 +96,7 @@ class StillingerWeberVectorized(Potential):
         # ---- lane grid: packed pairs --------------------------------------------
         C = (P + W - 1) // W
         sel = np.full(C * W, -1, dtype=np.int64)
-        sel[:P] = np.arange(P)
+        sel[:P] = np.arange(P, dtype=np.int64)
         sel = sel.reshape(C, W)
         valid = sel >= 0
         idx = np.where(valid, sel, 0)
@@ -108,7 +109,8 @@ class StillingerWeberVectorized(Potential):
         e2, de2 = phi2(lane_rij, p)
         charge(bk, RECIPE_PHI2, rows, mask=valid, masked=True)
         e2 = np.where(valid, e2, 0.0)
-        fpair = np.where(valid, -0.5 * de2 / lane_rij, 0.0).astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            fpair = np.where(valid, -0.5 * de2 / lane_rij, 0.0).astype(np.float64)
         energy = 0.5 * float(np.sum(bk.reduce_add(e2.astype(cd), valid)))
         fvec = fpair[..., None] * lane_dij.astype(np.float64)
         for axis in range(3):

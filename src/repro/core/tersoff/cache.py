@@ -50,6 +50,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis import hot_path
 from repro.core.tersoff.kernels import PROD_PAIR_FIELDS, PROD_TRIPLET_FIELDS, gather_flat
 from repro.core.tersoff.prepare import PairData, TripletData, build_triplets, pair_geometry
 
@@ -123,6 +124,7 @@ def idx3_of(idx: np.ndarray) -> np.ndarray:
     return (idx[:, None] * 3 + _AXES3).ravel()
 
 
+@hot_path(reason="conflict-safe accumulation primitive on the per-step path")
 def segsum3(
     idx: np.ndarray,
     vec: np.ndarray,
@@ -205,6 +207,7 @@ class InteractionCache:
         self._maskm: np.ndarray | None = None
         self._staging: Staging | None = None
 
+    @hot_path(reason="per-step staging; geometry scratch must come from the Workspace")
     def prepare(self, system, neigh, flat, pblock: dict[str, np.ndarray], p_m: np.ndarray) -> Staging:
         ws = self.workspace
         topo_valid = True

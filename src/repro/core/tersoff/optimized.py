@@ -121,7 +121,7 @@ class TersoffOptimized(Potential):
         flat = self._flat
         nt = flat.ntypes
         n = system.n
-        forces = np.zeros((n, 3))
+        forces = np.zeros((n, 3), dtype=np.float64)
         energy = 0.0
         virial = 0.0
         n_pairs = 0
@@ -130,7 +130,7 @@ class TersoffOptimized(Potential):
 
         scratch_k = np.empty(max(self.kmax, 1), dtype=np.int64)
         scratch_kk = np.empty(max(self.kmax, 1), dtype=np.int64)
-        scratch_dzk = np.empty((max(self.kmax, 1), 3))
+        scratch_dzk = np.empty((max(self.kmax, 1), 3), dtype=np.float64)
 
         for i in range(n):
             ti = int(types[i])
@@ -149,8 +149,8 @@ class TersoffOptimized(Potential):
 
                 # --- single K loop: zeta AND derivatives ------------------
                 zeta = 0.0
-                dzi = np.zeros(3)
-                dzj = np.zeros(3)
+                dzi = np.zeros(3, dtype=np.float64)
+                dzj = np.zeros(3, dtype=np.float64)
                 stored = 0
                 overflow: list[int] = []
                 for kk in range(slist.shape[0]):

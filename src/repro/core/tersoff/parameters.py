@@ -285,7 +285,7 @@ class TersoffParams:
             nt = self.ntypes
             size = nt ** 3
             fields: dict[str, np.ndarray] = {
-                name: np.zeros(size)
+                name: np.zeros(size, dtype=np.float64)
                 for name in (
                     "m gamma lam3 c d h n beta lam2 B R D lam1 A cut cutsq c1 c2 c3 c4".split()
                 )

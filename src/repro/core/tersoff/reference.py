@@ -94,7 +94,7 @@ class TersoffReference(Potential):
         types = system.type
         params = self.params
         n = system.n
-        forces = np.zeros((n, 3))
+        forces = np.zeros((n, 3), dtype=np.float64)
         energy = 0.0
         virial = 0.0
         n_pairs = 0

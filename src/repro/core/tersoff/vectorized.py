@@ -52,7 +52,7 @@ from repro.core.tersoff.prepare import PairData, build_pairs, group_by_i
 from repro.md.atoms import AtomSystem
 from repro.md.neighbor import NeighborList
 from repro.md.potential import ForceResult, Potential
-from repro.vector.backend import VectorBackend
+from repro.vector.backend import VectorBackend, scatter_add_rows
 from repro.vector.isa import ISA, get_isa
 from repro.vector.precision import Precision
 
@@ -431,7 +431,7 @@ class TersoffVectorized(Potential):
             sel_dij = (np.concatenate([st.dij[oc, ow], np.zeros((pad, 3), st.dij.dtype)])
                        if pad else st.dij[oc, ow]).reshape(-1, W, 3)
             sel_rik = _padded(kc.r[okr].astype(bk.compute_dtype)).reshape(-1, W)
-            sel_dik = (np.concatenate([kc.d[okr], np.zeros((pad, 3))]) if pad
+            sel_dik = (np.concatenate([kc.d[okr], np.zeros((pad, 3), dtype=kc.d.dtype)]) if pad
                        else kc.d[okr]).astype(bk.compute_dtype).reshape(-1, W, 3)
             sel_mask = _padded(np.ones(n_over, dtype=bool), False).reshape(-1, W)
             if self._nt == 1:
@@ -473,7 +473,7 @@ class TersoffVectorized(Potential):
         kcand_pairs = build_pairs(system, neigh, flat, cutoff=kmode)
         kc = _KCandidates.from_pairs(kcand_pairs)
 
-        forces = np.zeros((system.n, 3))
+        forces = np.zeros((system.n, 3), dtype=np.float64)
         if pairs.n_pairs == 0:
             return ForceResult(energy=0.0, forces=forces, virial=0.0,
                                stats=self._stats(bk, pairs))
@@ -528,7 +528,7 @@ class TersoffVectorized(Potential):
         P = pairs.n_pairs
         C = (P + W - 1) // W
         sel = np.full(C * W, -1, dtype=np.int64)
-        sel[:P] = np.arange(P)
+        sel[:P] = np.arange(P, dtype=np.int64)
         st = self._lane_state_from_pairs(bk, pairs, sel.reshape(C, W))
         sweep = self._k_sweep(bk, st, kc)
         return self._apply_pair_and_zeta_forces(
@@ -542,10 +542,10 @@ class TersoffVectorized(Potential):
         n = system.n
         starts, counts = group_by_i(pairs.i_idx, n)
         C = (n + W - 1) // W
-        atom_grid = np.arange(C * W).reshape(C, W)
+        atom_grid = np.arange(C * W, dtype=np.int64).reshape(C, W)
         atom_valid = atom_grid < n
         atom_ids = np.where(atom_valid, atom_grid, 0)
-        register_fi = np.zeros((C, W, 3))
+        register_fi = np.zeros((C, W, 3), dtype=np.float64)
         energy = 0.0
         virial = 0.0
         max_pairs = int(counts.max()) if counts.size else 0
@@ -683,10 +683,10 @@ class TersoffVectorized(Potential):
             bk.scatter_add_distinct(forces[:, axis], st.j_atom, fvec_j[..., axis].astype(np.float64),
                                     valid, rows_active=rows_valid)
         # i is uniform per register -> in-register reduction + scalar update
-        fi_rows = np.zeros((C, 3))
+        fi_rows = np.zeros((C, 3), dtype=np.float64)
         for axis in range(3):
             fi_rows[:, axis] = bk.reduce_add(fvec_i[..., axis], valid, rows_active=rows_valid).astype(np.float64)
-        np.add.at(forces, row_atom, fi_rows)
+        scatter_add_rows(forces, row_atom, fi_rows)
         bk.counter.record("store", rows_valid, bk.isa.costs.store)
 
         virial = float(np.sum((fpair * st.rij * st.rij).astype(np.float64), where=valid))
@@ -700,11 +700,11 @@ class TersoffVectorized(Potential):
                 continue
             contrib = -(prefactor[..., None] * stored_dzk[:, :, s, :])
             bk.counter.record("arith", rows_s * 3, bk.isa.costs.arith, width=bk.width)
-            fk_rows = np.zeros((C, 3))
+            fk_rows = np.zeros((C, 3), dtype=np.float64)
             for axis in range(3):
                 fk_rows[:, axis] = bk.reduce_add(contrib[..., axis], valid, rows_active=rows_s).astype(np.float64)
             fk_rows[~rmask] = 0.0
-            np.add.at(forces, stored_kid[:, s], fk_rows)
+            scatter_add_rows(forces, stored_kid[:, s], fk_rows)
             bk.counter.record("store", rows_s, bk.isa.costs.store)
             d_k = kc.d[stored_krow[:, s]]
             virial += float(np.sum(np.where(rmask[:, None], fk_rows * d_k, 0.0)))

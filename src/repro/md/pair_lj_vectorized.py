@@ -19,7 +19,7 @@ from repro.core.tersoff.prepare import group_by_i
 from repro.md.atoms import AtomSystem
 from repro.md.neighbor import NeighborList
 from repro.md.potential import ForceResult, Potential
-from repro.vector.backend import VectorBackend
+from repro.vector.backend import VectorBackend, scatter_add_rows
 from repro.vector.isa import ISA, get_isa
 from repro.vector.precision import Precision
 
@@ -76,7 +76,7 @@ class LennardJonesVectorized(Potential):
         nblocks = (counts + W - 1) // W
         row_atom = np.repeat(np.arange(n, dtype=np.int64), nblocks)
         C = row_atom.shape[0]
-        forces = np.zeros((n, 3))
+        forces = np.zeros((n, 3), dtype=np.float64)
         if C == 0:
             return ForceResult(energy=0.0, forces=forces, virial=0.0, stats=self._stats(bk, 0))
         row_first = np.concatenate(([0], np.cumsum(nblocks)[:-1]))
@@ -110,10 +110,10 @@ class LennardJonesVectorized(Potential):
         # pair updates only its center atom i — an in-register reduction
         # and one scalar store, with no scatter at all.  This is why the
         # paper calls pair potentials the *easy* case.
-        fi_rows = np.zeros((C, 3))
+        fi_rows = np.zeros((C, 3), dtype=np.float64)
         for axis in range(3):
             fi_rows[:, axis] = bk.reduce_add(fvec[..., axis].astype(cd), mask)
-        np.add.at(forces, row_atom, -fi_rows)
+        scatter_add_rows(forces, row_atom, -fi_rows)
         bk.counter.record("store", C, bk.isa.costs.store)
 
         virial = 0.5 * float(np.sum(f_over_r * np.einsum("...i,...i->...", dvec, dvec)))

@@ -26,6 +26,41 @@ from repro.vector.isa import ISA, get_isa
 from repro.vector.precision import Precision
 
 
+def scatter_add(target: np.ndarray, idx: np.ndarray, values: np.ndarray) -> None:
+    """Conflict-safe scatter-add: the single approved ``np.add.at`` site.
+
+    Equivalent to serialized lane-by-lane accumulation — ``np.add.at``
+    semantics exactly, including repeated indices.  All other modules
+    must route conflict writes through here (or the cost-counting
+    :class:`VectorBackend` methods, which delegate here); rule KA005 of
+    ``repro lint`` enforces it.
+    """
+    np.add.at(target, idx, values)
+
+
+def scatter_add_rows(
+    target: np.ndarray,
+    idx: np.ndarray,
+    rows: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> None:
+    """Row-wise conflict-safe scatter-add: ``target[idx[k]] += rows[k]``.
+
+    The force-accumulation shape — ``target`` is ``(n, 3)``, ``idx`` is
+    ``(C,)`` and ``rows`` is ``(C, 3)``.  Bitwise-identical to the raw
+    ``np.add.at(target, idx, rows)`` calls it replaces: values are cast
+    to the target dtype exactly as ufunc.at would, and accumulation
+    order is input order either way.
+    """
+    vals = np.asarray(rows)
+    if vals.dtype != target.dtype:
+        vals = vals.astype(target.dtype)
+    if mask is not None:
+        idx = idx[mask]
+        vals = vals[mask]
+    scatter_add(target, idx, vals)
+
+
 class VectorBackend:
     """Simulated SIMD execution engine for one (ISA, precision) pair.
 
@@ -224,7 +259,7 @@ class VectorBackend:
         else:
             idx = idx.reshape(-1)
             vals = vals.reshape(-1)
-        np.add.at(target, idx, vals)
+        scatter_add(target, idx, vals)
         rows = self._rows(np.asarray(values), rows_active)
         self.counter.record(
             "scatter_conflict", rows, self.isa.scatter_conflict_cost(self.width), width=self.width
@@ -253,7 +288,7 @@ class VectorBackend:
         else:
             idx = idx.reshape(-1)
             vals = vals.reshape(-1)
-        np.add.at(target, idx, vals)
+        scatter_add(target, idx, vals)
         rows = self._rows(np.asarray(values), rows_active)
         self.counter.record("scatter", rows, self.isa.costs.store + self.isa.costs.load, width=self.width)
 
