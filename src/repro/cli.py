@@ -74,9 +74,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         pot = SanitizedPotential(pot)
         print("sanitize: FP faults raise, force results NaN-guarded (debug mode)")
-    sim = Simulation(system, pot, neighbor=NeighborSettings(cutoff=cutoff, skin=args.skin))
+    sim = Simulation(
+        system, pot,
+        neighbor=NeighborSettings(cutoff=cutoff, skin=args.skin),
+        workers=args.workers, ranks=args.ranks, sort=args.sort_domains,
+    )
+    par = ""
+    if args.workers is not None:
+        par = f", {args.workers} workers x {sim.engine.ranks} ranks"
     print(f"{system.n} Si atoms, {args.potential} ({args.mode}), "
-          f"{args.steps} steps at {args.temperature:.0f} K")
+          f"{args.steps} steps at {args.temperature:.0f} K{par}")
     print(ThermoSample.format_header())
     result = sim.run(args.steps, thermo_every=max(args.steps // 10, 1))
     for t in result.thermo:
@@ -88,6 +95,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if cache.get("enabled"):
         print(f"interaction cache: {cache['hits']} hits, {cache['misses']} misses, "
               f"{cache['invalidations']} invalidations (list v{cache['list_version']})")
+    summary = sim.workload_summary()
+    if summary is not None:
+        print(f"parallel: grid {summary['grid']}, "
+              f"imbalance {summary.get('imbalance_measured', summary['imbalance']):.2f}, "
+              f"efficiency {summary.get('parallel_efficiency', 0.0):.2f}, "
+              f"{summary['generations']} decompositions over {summary['steps']} steps")
+    sim.close()
     return 0
 
 
@@ -270,6 +284,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--potential", choices=("tersoff", "sw"), default="tersoff")
     p_run.add_argument("--skin", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=2016)
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="run forces on a persistent N-process shared-memory pool")
+    p_run.add_argument("--ranks", type=int, default=None,
+                       help="domain-decomposition size for --workers (default: workers); "
+                            "the physics depends only on ranks, never on workers")
+    p_run.add_argument("--sort-domains", action="store_true",
+                       help="Morton-order rank-local atoms (locality optimization)")
     p_run.add_argument("--sanitize", action="store_true",
                        help="debug: raise on FP faults and NaN-guard every force result")
     p_run.set_defaults(func=_cmd_run)

@@ -207,6 +207,13 @@ class InteractionCache:
         self._maskm: np.ndarray | None = None
         self._staging: Staging | None = None
 
+    def __reduce__(self):
+        # Pickle as a *fresh* cache: the internals hold a weakref and
+        # workspace views that must not cross process boundaries, and a
+        # cold cache is exact (hits only ever reuse recomputable
+        # arrays), so "spawn" workers simply warm their own copy.
+        return (InteractionCache, ())
+
     @hot_path(reason="per-step staging; geometry scratch must come from the Workspace")
     def prepare(self, system, neigh, flat, pblock: dict[str, np.ndarray], p_m: np.ndarray) -> Staging:
         ws = self.workspace

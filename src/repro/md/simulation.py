@@ -29,7 +29,12 @@ class StageTimers:
     filtering, pair/triplet expansion, parameter gathers — the paper's
     filter component); ``pair`` is the remaining computational part.
     Potentials that do not report a staging split charge everything to
-    ``pair``, as before.
+    ``pair``, as before.  Parallel runs (``workers=N``) additionally
+    fill ``comm`` (position broadcast, worker dispatch and
+    synchronization/imbalance wait — *measured*, not modeled) and
+    ``reduce`` (the host's fixed rank-order force reduction); on the
+    engine path ``pair``/``prepare``/``neighbor`` report the busiest
+    worker's critical-path seconds.
     """
 
     pair: float = 0.0
@@ -37,11 +42,15 @@ class StageTimers:
     neighbor: float = 0.0
     integrate: float = 0.0
     comm: float = 0.0
+    reduce: float = 0.0
     other: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.pair + self.prepare + self.neighbor + self.integrate + self.comm + self.other
+        return (
+            self.pair + self.prepare + self.neighbor + self.integrate
+            + self.comm + self.reduce + self.other
+        )
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -50,6 +59,7 @@ class StageTimers:
             "neighbor": self.neighbor,
             "integrate": self.integrate,
             "comm": self.comm,
+            "reduce": self.reduce,
             "other": self.other,
             "total": self.total,
         }
@@ -78,7 +88,15 @@ class RunResult:
 
 
 class Simulation:
-    """Single-domain MD simulation: potential + neighbor list + integrator.
+    """MD simulation: potential + neighbor list + integrator.
+
+    Runs single-domain by default; with ``workers=N`` the force
+    evaluation is delegated to a persistent
+    :class:`~repro.parallel.engine.ParallelEngine` pool executing a
+    fixed ``ranks``-way domain decomposition concurrently.  For a fixed
+    ``ranks``/``sort`` configuration the trajectory is bitwise
+    independent of ``workers``; ``workers=1, ranks=1`` reproduces the
+    serial path bitwise.
 
     Parameters
     ----------
@@ -92,6 +110,20 @@ class Simulation:
         Timestep in ps (default: the 1 fs metal-units standard).
     thermostat:
         Optional :class:`Langevin` or :class:`VelocityRescale`.
+    workers:
+        Number of parallel worker processes (``None`` = serial,
+        in-process evaluation).
+    ranks:
+        Decomposition size for the parallel path (default: ``workers``).
+        The physics depends only on ``ranks``/``sort``, never on
+        ``workers``.
+    sort:
+        Morton-order rank-local atoms on the parallel path (locality
+        optimization; permutes accumulation order, so leave off when
+        bitwise equality with the serial path matters).
+    start_method:
+        ``multiprocessing`` start method for the pool (default: fork
+        where available).
     """
 
     def __init__(
@@ -102,6 +134,10 @@ class Simulation:
         neighbor: NeighborSettings | None = None,
         dt: float = DEFAULT_TIMESTEP_PS,
         thermostat: Langevin | NoseHoover | VelocityRescale | None = None,
+        workers: int | None = None,
+        ranks: int | None = None,
+        sort: bool = False,
+        start_method: str | None = None,
     ):
         self.system = system
         self.potential = potential
@@ -117,18 +153,59 @@ class Simulation:
         self.step_index = 0
         self.timers = StageTimers()
         self.last_result: ForceResult | None = None
+        self.engine = None
+        if workers is not None:
+            from repro.parallel.engine import ParallelEngine
+
+            self.engine = ParallelEngine(
+                system,
+                potential,
+                workers=workers,
+                ranks=ranks,
+                neighbor=NeighborSettings(
+                    cutoff=neighbor.cutoff, skin=neighbor.skin, full=True
+                ),
+                sort=sort,
+                start_method=start_method,
+            )
 
     @property
     def dt(self) -> float:
         return self.integrator.dt
+
+    def _builds(self) -> int:
+        """Neighbor-build counter (serial list builds / engine rebuild steps)."""
+        if self.engine is not None:
+            return self.engine.rebuild_steps
+        return self.neigh.n_builds
+
+    def close(self) -> None:
+        """Shut down the parallel engine, if any.  Idempotent."""
+        if self.engine is not None:
+            self.engine.close()
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def workload_summary(self) -> dict | None:
+        """The engine's measured decomposition summary (``None`` if serial)."""
+        if self.engine is None or self.engine.last_step is None:
+            return None
+        return self.engine.workload_summary()
 
     def compute_forces(self) -> ForceResult:
         """Evaluate the potential into ``system.f``.
 
         Time is split *neighbor* (list build) / *prepare* (staging, when
         the potential reports it in ``stats["timing"]``) / *pair* (the
-        computational part).
+        computational part); the parallel path additionally fills
+        *comm* and *reduce* from measured engine timers.
         """
+        if self.engine is not None:
+            return self._compute_forces_parallel()
         t0 = time.perf_counter()
         self.neigh.ensure(self.system.x, self.system.box)
         t1 = time.perf_counter()
@@ -140,6 +217,46 @@ class Simulation:
         staging = min(max(staging, 0.0), elapsed)
         self.timers.prepare += staging
         self.timers.pair += elapsed - staging
+        self.last_result = result
+        return result
+
+    def _compute_forces_parallel(self) -> ForceResult:
+        """One engine step; stage timers are fed from measured engine time.
+
+        Attribution: decomposition rebuilds and the busiest worker's
+        list work go to *neighbor*, its staging to *prepare*, its kernel
+        to *pair*, the host reduction to *reduce*, and everything else
+        in the host's wall time — broadcast, dispatch, IPC and
+        synchronization/imbalance wait — to *comm*.
+        """
+        t0 = time.perf_counter()
+        step = self.engine.compute(self.system.x)
+        self.system.f[:] = step.forces
+        elapsed = time.perf_counter() - t0
+        tm = step.timers
+        neighbor = tm["decompose_s"] + tm["neighbor_s"]
+        prepare = tm["staging_s"]
+        pair = tm["kernel_s"]
+        reduce_s = tm["reduce_s"]
+        self.timers.neighbor += neighbor
+        self.timers.prepare += prepare
+        self.timers.pair += pair
+        self.timers.reduce += reduce_s
+        self.timers.comm += max(elapsed - (neighbor + prepare + pair + reduce_s), 0.0)
+        stats: dict = {
+            "parallel": {
+                "workers": self.engine.workers,
+                "ranks": self.engine.ranks,
+                "generation": step.generation,
+                "redecomposed": step.redecomposed,
+                "any_rebuilt": step.any_rebuilt,
+                "timers": dict(tm),
+            }
+        }
+        cache = self.engine.cache_summary()
+        if cache is not None:
+            stats["cache"] = cache
+        result = ForceResult(energy=step.energy, forces=self.system.f, stats=stats)
         self.last_result = result
         return result
 
@@ -173,7 +290,7 @@ class Simulation:
             )
 
         collect()
-        builds_before = self.neigh.n_builds
+        builds_before = self._builds()
         for _ in range(steps):
             t0 = time.perf_counter()
             if isinstance(self.thermostat, NoseHoover):
@@ -201,5 +318,5 @@ class Simulation:
             steps=steps,
             timers=self.timers,
             thermo=thermo,
-            neighbor_builds=self.neigh.n_builds - builds_before,
+            neighbor_builds=self._builds() - builds_before,
         )

@@ -1,15 +1,21 @@
-"""Simulated MPI: domain decomposition, halo exchange, network models.
+"""Domain decomposition, halo exchange, network models — and a real
+shared-memory parallel execution engine.
 
 The paper uses "vanilla LAMMPS' MPI-based domain decomposition scheme"
 (Sec. V-C) and evaluates up to 8 Xeon-Phi-augmented nodes (Fig. 9).
-This package substitutes real MPI with a *sequential-SPMD* execution:
-every rank's computation runs in one process against its own owned +
-ghost atom sets, messages are byte-accurate, and a latency/bandwidth
-network model converts traffic into modelled communication time.
+This package substitutes real MPI two ways: a *sequential-SPMD*
+execution (every rank's computation runs in one process against its own
+owned + ghost atom sets, messages are byte-accurate, and a
+latency/bandwidth network model converts traffic into modelled
+communication time), and :class:`ParallelEngine`, a persistent
+``multiprocessing`` worker pool that runs those same ranks concurrently
+through shared-memory buffers for real single-node wall-clock speedup.
 
 Numerical fidelity is testable: the distributed force computation must
-reproduce the single-domain forces exactly (see
-``tests/test_decomposition.py``).
+reproduce the single-domain forces exactly, and the engine must
+reproduce the sequential decomposition bitwise for any worker count
+(see ``tests/test_decomposition.py`` and
+``tests/test_parallel_engine.py``).
 """
 
 from repro.parallel.comm import (
@@ -21,15 +27,20 @@ from repro.parallel.comm import (
 )
 from repro.parallel.decomposition import DomainDecomposition, RankDomain
 from repro.parallel.cluster import ClusterSpec, DistributedRun
+from repro.parallel.engine import EngineError, EngineStep, ParallelEngine, WorkerCrash
 
 __all__ = [
     "ClusterSpec",
     "CommRecord",
     "DistributedRun",
     "DomainDecomposition",
+    "EngineError",
+    "EngineStep",
     "INFINIBAND_FDR",
     "INTRA_NODE",
     "NetworkModel",
     "PCIE_GEN2",
+    "ParallelEngine",
     "RankDomain",
+    "WorkerCrash",
 ]

@@ -7,12 +7,26 @@ of its boundary.  Per timestep the ranks forward-communicate ghost
 positions and (because full neighbor lists accumulate forces onto
 ghosts) reverse-communicate ghost forces back to their owners.
 
-This module reproduces that structure in sequential-SPMD form.  The
-distributed energy/force computation is exact: each rank evaluates the
-potential with the i-loop restricted to owned atoms, so summing rank
-energies and reverse-adding ghost forces reproduces the single-domain
-result bit-for-bit up to floating-point reassociation (validated in
-tests to ~1e-12).
+This module reproduces that structure in sequential-SPMD form; the
+shared-memory execution engine (:mod:`repro.parallel.engine`) runs the
+same ranks concurrently.  The distributed energy/force computation is
+exact: each rank evaluates the potential with the i-loop restricted to
+owned atoms, so summing rank energies and reverse-adding ghost forces
+reproduces the single-domain result bit-for-bit up to floating-point
+reassociation (validated in tests to ~1e-12).
+
+Determinism contract: for a *fixed* decomposition (rank count, grid,
+sort flag), the rank-by-rank evaluation plus the fixed rank-order
+reduction in :meth:`DomainDecomposition.compute_forces` is the
+reference result, and the engine reproduces it bitwise for any number
+of worker processes (see ``tests/test_parallel_engine.py``).
+
+Rank-local atoms can be Morton-ordered (``sort=True``): owned and
+ghost indices are arranged along the Z-order curve of
+:mod:`repro.md.sorting` before the local arrays are gathered, so a
+rank's neighbor-list walks touch storage-adjacent atoms — the
+``atom_modify sort`` locality effect of Sec. V-C, measured by the
+``locality_*`` keys of :meth:`workload_summary`.
 """
 
 from __future__ import annotations
@@ -21,10 +35,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.tersoff.cache import Workspace
 from repro.md.atoms import AtomSystem
 from repro.md.neighbor import NeighborList, NeighborSettings
 from repro.md.potential import ForceResult, Potential
+from repro.md.sorting import morton_keys
 from repro.parallel.comm import CommRecord, NetworkModel, INTRA_NODE
+from repro.vector.backend import scatter_add_rows
 
 #: bytes per atom in a forward (position+type+tag) halo message
 FORWARD_BYTES_PER_ATOM = 3 * 8 + 4 + 8
@@ -51,6 +68,23 @@ def _grid_for(n_ranks: int) -> tuple[int, int, int]:
     return best
 
 
+def blank_ghost_rows(neigh: NeighborList, n_owned: int) -> None:
+    """Remove neighbor rows of ghost atoms (they are not iterated).
+
+    Keeps the CSR invariants; ghost atoms end up with empty rows so
+    any potential skips them as i-atoms while they still appear as
+    j/k partners of owned atoms.  Must run right after every (re)build
+    of a rank-local list, before the list is consumed — the engine and
+    the sequential path both follow that discipline, so a given list
+    ``version`` always refers to the blanked topology.
+    """
+    counts = np.diff(neigh.offsets)
+    counts[n_owned:] = 0
+    keep_len = int(neigh.offsets[n_owned])
+    neigh.neighbors = neigh.neighbors[:keep_len]
+    neigh.offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+
+
 @dataclass
 class RankDomain:
     """One rank's view: owned atoms plus ghosts within the halo width."""
@@ -60,6 +94,7 @@ class RankDomain:
     owned_idx: np.ndarray  # global indices of owned atoms
     ghost_idx: np.ndarray  # global indices of ghosts
     ghost_source: np.ndarray  # owning rank of each ghost
+    local_idx: np.ndarray  # owned + ghost global indices, owned first
     local_system: AtomSystem  # owned + ghosts, owned first
     n_owned: int
 
@@ -85,6 +120,10 @@ class DomainDecomposition:
     halo:
         Ghost-region width; must be >= the neighbor-list cutoff
         (cutoff + skin) of the potential that will run on the domains.
+    sort:
+        Morton-order the rank-local atoms (owned first, then ghosts,
+        each along the Z-order curve) so local neighbor gathers touch
+        storage-adjacent memory.
     """
 
     def __init__(
@@ -94,6 +133,7 @@ class DomainDecomposition:
         halo: float,
         *,
         grid: tuple[int, int, int] | None = None,
+        sort: bool = False,
     ):
         if n_ranks < 1:
             raise ValueError("need at least one rank")
@@ -105,6 +145,7 @@ class DomainDecomposition:
         if int(np.prod(self.grid)) != n_ranks:
             raise ValueError(f"grid {self.grid} does not have {n_ranks} cells")
         self.n_ranks = n_ranks
+        self.sort = bool(sort)
         box = system.box
         lengths = box.lengths
         sub = lengths / np.array(self.grid, dtype=np.float64)
@@ -114,6 +155,13 @@ class DomainDecomposition:
             pass
         self.sub_lengths = sub
         self.domains = self._build_domains()
+        # persistent per-rank neighbor lists, keyed by (cutoff, skin):
+        # compute_forces reuses them across calls via ensure() so the
+        # skin logic (and any interaction cache keyed on the list
+        # version) survives between rebuilds.
+        self._lists: dict[int, NeighborList] = {}
+        self._list_key: tuple[float, float] | None = None
+        self._ws = Workspace()
 
     # -- construction -----------------------------------------------------------
 
@@ -130,6 +178,7 @@ class DomainDecomposition:
         cells = self._cell_of(system.x)
         lin = (cells[:, 0] * grid[1] + cells[:, 1]) * grid[2] + cells[:, 2]
         owner = lin  # rank id per atom
+        zkeys = morton_keys(system) if self.sort else None
         domains: list[RankDomain] = []
         for rank in range(self.n_ranks):
             cz = rank % grid[2]
@@ -144,7 +193,7 @@ class DomainDecomposition:
             others = np.nonzero(~owned_mask)[0]
             if others.size:
                 xo = system.x[others]
-                dist = np.zeros(others.shape[0])
+                dist = np.zeros(others.shape[0], dtype=np.float64)
                 for axis in range(3):
                     # distance from the point to the interval [lo, hi],
                     # minimized over the point's periodic images
@@ -162,12 +211,15 @@ class DomainDecomposition:
                 ghost_idx = others[ghost_mask]
             else:
                 ghost_idx = np.empty(0, dtype=np.int64)
+            if zkeys is not None:
+                owned_idx = owned_idx[np.argsort(zkeys[owned_idx], kind="stable")]
+                ghost_idx = ghost_idx[np.argsort(zkeys[ghost_idx], kind="stable")]
             local_idx = np.concatenate([owned_idx, ghost_idx])
             local = AtomSystem(
                 box=box,
                 x=system.x[local_idx].copy(),
                 v=system.v[local_idx].copy(),
-                f=np.zeros((local_idx.shape[0], 3)),
+                f=np.zeros((local_idx.shape[0], 3), dtype=np.float64),
                 type=system.type[local_idx].copy(),
                 mass=system.mass.copy(),
                 species=system.species,
@@ -180,11 +232,28 @@ class DomainDecomposition:
                     owned_idx=owned_idx,
                     ghost_idx=ghost_idx,
                     ghost_source=owner[ghost_idx],
+                    local_idx=local_idx,
                     local_system=local,
                     n_owned=int(owned_idx.shape[0]),
                 )
             )
         return domains
+
+    # -- position refresh (forward halo exchange, in-process) ---------------------
+
+    def refresh_positions(self, x: np.ndarray) -> None:
+        """Update every rank's local positions from global positions `x`.
+
+        The in-process analogue of a forward halo exchange: topology
+        (owned/ghost sets) stays fixed, only coordinates move.  Valid
+        while no atom has drifted further than half the skin from the
+        positions the decomposition was built at — the same criterion
+        that triggers a neighbor-list rebuild; callers that advance
+        atoms are responsible for rebuilding the decomposition then
+        (the engine does this automatically).
+        """
+        for dom in self.domains:
+            np.take(x, dom.local_idx, axis=0, out=dom.local_system.x)
 
     # -- communication accounting -------------------------------------------------
 
@@ -220,6 +289,51 @@ class DomainDecomposition:
 
     # -- distributed force computation ----------------------------------------------
 
+    def _rank_list(self, rank: int, settings: NeighborSettings) -> NeighborList:
+        """The persistent neighbor list of `rank` for `settings`."""
+        key = (settings.cutoff, settings.skin)
+        if self._list_key != key:
+            self._lists.clear()
+            self._list_key = key
+        nl = self._lists.get(rank)
+        if nl is None:
+            nl = NeighborList(settings)
+            self._lists[rank] = nl
+        return nl
+
+    def ensure_local_list(self, rank: int, settings: NeighborSettings) -> tuple[NeighborList, bool]:
+        """Rebuild rank `rank`'s local list if its atoms moved too far.
+
+        Rebuilds run on the rank's *current* local positions (call
+        :meth:`refresh_positions` first) and are immediately followed by
+        ghost-row blanking, so the returned list is always the blanked
+        topology.  Returns ``(list, rebuilt)``.
+        """
+        dom = self.domains[rank]
+        nl = self._rank_list(rank, settings)
+        rebuilt = nl.ensure(dom.local_system.x, dom.local_system.box)
+        if rebuilt:
+            blank_ghost_rows(nl, dom.n_owned)
+        return nl, rebuilt
+
+    def reduce_forces(self, rank_forces: list[np.ndarray], out: np.ndarray | None = None) -> np.ndarray:
+        """Fixed rank-order reverse halo exchange: merge per-rank force
+        blocks (owned + ghost rows) onto the global force array.
+
+        The reduction order — rank 0, rank 1, ... with input-order
+        accumulation inside each scatter — is the determinism contract:
+        the engine reproduces exactly this association for any worker
+        count.  The returned array is a workspace view, valid until the
+        next reduction on this decomposition (pass ``out=`` to own it).
+        """
+        n = self.system.n
+        if out is None:
+            out = self._ws.buf("forces", (n, 3), np.float64)
+        out.fill(0.0)
+        for dom, block in zip(self.domains, rank_forces):
+            scatter_add_rows(out, dom.local_idx, block[: dom.local_idx.shape[0]])
+        return out
+
     def compute_forces(
         self,
         potential: Potential,
@@ -228,54 +342,55 @@ class DomainDecomposition:
     ) -> tuple[float, np.ndarray, list[ForceResult]]:
         """Evaluate `potential` rank-by-rank and assemble global results.
 
-        Per rank: build the local neighbor list, blank the ghost rows
-        (the i-loop runs over owned atoms only), evaluate, then
-        reverse-add ghost force contributions to their owners.
+        Per rank: reuse (or rebuild) the persistent local neighbor
+        list, blank the ghost rows (the i-loop runs over owned atoms
+        only), evaluate, then reverse-add ghost force contributions to
+        their owners in fixed rank order.
 
-        Returns ``(total_energy, global_forces, per_rank_results)``.
+        Returns ``(total_energy, global_forces, per_rank_results)``;
+        the force array is a workspace view valid until the next call.
         """
-        n = self.system.n
-        forces = np.zeros((n, 3))
+        settings = NeighborSettings(cutoff=potential.cutoff, skin=skin, full=True)
         energy = 0.0
         results: list[ForceResult] = []
-        settings = NeighborSettings(cutoff=potential.cutoff, skin=skin, full=True)
         for dom in self.domains:
-            local = dom.local_system
-            neigh = NeighborList(settings)
-            neigh.build(local.x, local.box)
-            self._blank_ghost_rows(neigh, dom.n_owned)
-            res = potential.compute(local, neigh)
+            neigh, _ = self.ensure_local_list(dom.rank, settings)
+            res = potential.compute(dom.local_system, neigh)
             energy += res.energy
-            local_idx = np.concatenate([dom.owned_idx, dom.ghost_idx])
-            np.add.at(forces, local_idx, res.forces)
             results.append(res)
+        forces = self.reduce_forces([r.forces for r in results])
         return energy, forces, results
-
-    @staticmethod
-    def _blank_ghost_rows(neigh: NeighborList, n_owned: int) -> None:
-        """Remove neighbor rows of ghost atoms (they are not iterated).
-
-        Keeps the CSR invariants; ghost atoms end up with empty rows so
-        any potential skips them as i-atoms while they still appear as
-        j/k partners of owned atoms.
-        """
-        counts = np.diff(neigh.offsets)
-        counts[n_owned:] = 0
-        keep_len = int(neigh.offsets[n_owned])
-        neigh.neighbors = neigh.neighbors[:keep_len]
-        neigh.offsets = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
 
     # -- summaries -----------------------------------------------------------------
 
+    def _locality_adjacent(self) -> float:
+        """Mean distance (Angstrom) between storage-adjacent local atoms.
+
+        A cheap proxy for the cache behaviour of rank-local neighbor
+        gathers: Morton-sorted domains place spatial neighbors next to
+        each other in memory, so this drops when ``sort=True``.
+        """
+        total, count = 0.0, 0
+        for dom in self.domains:
+            xs = dom.local_system.x
+            if xs.shape[0] < 2:
+                continue
+            d = dom.local_system.box.minimum_image(xs[1:] - xs[:-1])
+            total += float(np.sum(np.sqrt(np.einsum("ij,ij->i", d, d))))
+            count += xs.shape[0] - 1
+        return total / count if count else 0.0
+
     def workload_summary(self) -> dict:
-        """Per-rank owned/ghost counts for the performance model."""
+        """Per-rank owned/ghost counts and locality for the performance model."""
         owned = np.array([d.n_owned for d in self.domains])
         ghosts = np.array([d.n_ghost for d in self.domains])
         return {
             "grid": self.grid,
+            "sorted": self.sort,
             "owned_max": int(owned.max()),
             "owned_mean": float(owned.mean()),
             "ghost_max": int(ghosts.max()) if ghosts.size else 0,
             "ghost_mean": float(ghosts.mean()) if ghosts.size else 0.0,
             "imbalance": float(owned.max() / max(owned.mean(), 1e-300)),
+            "locality_adjacent_A": self._locality_adjacent(),
         }

@@ -322,6 +322,93 @@ register(BenchCase(
 ))
 
 
+# ---- md/step-*-workers-* : the shared-memory parallel engine ----------------
+# One full timestep of a 2048-atom system decomposed into a FIXED 4-rank
+# grid, executed by 1/2/4 worker processes.  Because the decomposition
+# is fixed, all three cases compute bitwise-identical physics — the only
+# variable is execution parallelism, so their ratio is the measured
+# strong-scaling speedup (the Fig. 9 quantity, measured not modeled).
+# The workers-1 case gates; 2/4 warn (their wall-clock depends on host
+# core count, which the machine fingerprint records).
+
+@lru_cache(maxsize=2)
+def _parallel_workload():
+    """2048-atom perturbed diamond-Si system for the engine cases."""
+    from repro.core.tersoff.parameters import tersoff_si
+    from repro.md.lattice import diamond_lattice, perturbed
+
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(8, 8, 4), 0.08, seed=5)
+    return params, system
+
+
+def _md_workers_setup(workers: int) -> Callable[[], Any]:
+    from repro.md.lattice import seeded_velocities
+    from repro.md.neighbor import NeighborSettings
+    from repro.md.simulation import Simulation
+
+    params, system = _parallel_workload()
+    sys2 = system.copy()
+    seeded_velocities(sys2, 300.0, seed=3)
+    sim = Simulation(sys2, _prod(params),
+                     neighbor=NeighborSettings(cutoff=params.max_cutoff, skin=1.0),
+                     workers=workers, ranks=4, sort=True)
+    sim.compute_forces()
+    return lambda: (sim.run(1), sim)[1]
+
+
+def _md_workers_extra(sim) -> dict:
+    extra = _md_step_extra(sim)
+    summary = sim.workload_summary()
+    if summary is not None:
+        extra["workload"] = {
+            k: v for k, v in summary.items()
+            if k in ("grid", "workers", "ranks", "imbalance", "imbalance_measured",
+                     "parallel_efficiency", "sorted", "locality_adjacent_A",
+                     "generations", "rebuild_steps", "steps")
+        }
+    return extra
+
+
+for _w in (1, 2, 4):
+    register(BenchCase(
+        name=f"md/step-2048-workers-{_w}",
+        setup=(lambda w: lambda: _md_workers_setup(w))(_w),
+        tier="hard" if _w == 1 else "warn",
+        extra=_md_workers_extra,
+    ))
+
+
+# ---- parallel/* : decomposition data plane ----------------------------------
+# The host side of one engine step minus the force kernel: a forward
+# halo refresh (gather positions into every rank's local arrays) plus
+# the fixed rank-order force reduction.  This is the serial fraction
+# that bounds strong scaling, so it gets its own regression tripwire.
+
+def _halo_exchange_setup() -> Callable[[], Any]:
+    import numpy as np
+
+    from repro.parallel.decomposition import DomainDecomposition
+
+    params, system = _parallel_workload()
+    dd = DomainDecomposition(system, 4, halo=params.max_cutoff + 1.0, sort=True)
+    blocks = [np.ones((dom.local_idx.shape[0], 3), dtype=np.float64) for dom in dd.domains]
+
+    def exchange():
+        dd.refresh_positions(system.x)
+        dd.reduce_forces(blocks)
+        return dd
+
+    return exchange
+
+
+register(BenchCase(
+    name="parallel/halo-exchange",
+    setup=_halo_exchange_setup,
+    extra=lambda dd: {"workload": dd.workload_summary()},
+))
+
+
 # ---- model/* : deterministic cost-model predictions -------------------------
 
 def _model_setup() -> Callable[[], Any]:

@@ -418,8 +418,9 @@ class TestRepoSelfLint:
         assert res.stale_baseline == [], "baseline has stale entries; regenerate it"
 
     def test_committed_baseline_is_justified(self):
+        # The baseline shrank to empty when the decomposition's np.add.at
+        # merge moved to scatter_add_rows; it must stay empty-or-justified.
         baseline = load_baseline(REPO_ROOT / ".repro-lint-baseline.json")
-        assert baseline.entries, "expected a small committed baseline"
         for e in baseline.entries:
             assert e.justification and "TODO" not in e.justification
 
