@@ -50,8 +50,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.core.schemes import make_solver
-    from repro.core.sw import StillingerWeberProduction, sw_silicon
+    from repro.core.schemes import make_solver, mode_precision
+    from repro.core.sw import StillingerWeberProduction, StillingerWeberReference, sw_silicon
     from repro.md.lattice import cells_for_atoms, diamond_lattice, seeded_velocities
     from repro.md.neighbor import NeighborSettings
     from repro.md.simulation import Simulation
@@ -63,11 +63,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     seeded_velocities(system, args.temperature, seed=args.seed)
     if args.potential == "sw":
         params = sw_silicon()
-        pot = StillingerWeberProduction(params)
+        if args.mode == "Ref":
+            pot = StillingerWeberReference(params)
+        else:
+            pot = StillingerWeberProduction(
+                params, precision=mode_precision(args.mode), cache=not args.no_cache
+            )
         cutoff = params.cut
     else:
         params = tersoff_si()
-        pot = make_solver(params, args.mode)
+        pot = make_solver(params, args.mode, cache=not args.no_cache)
         cutoff = params.max_cutoff
     if args.sanitize:
         from repro.analysis.sanitize import SanitizedPotential
@@ -282,6 +287,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--temperature", type=float, default=600.0)
     p_run.add_argument("--mode", choices=("Ref", "Opt-D", "Opt-S", "Opt-M"), default="Opt-M")
     p_run.add_argument("--potential", choices=("tersoff", "sw"), default="tersoff")
+    p_run.add_argument("--no-cache", action="store_true",
+                       help="disable the step-persistent interaction cache "
+                            "(results are bit-for-bit identical either way)")
     p_run.add_argument("--skin", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=2016)
     p_run.add_argument("--workers", type=int, default=None,

@@ -1,0 +1,225 @@
+"""Step-persistent interaction cache for the staged pipeline.
+
+Generalized from the PR-2 Tersoff-only cache: the validity layers and
+the geometry-recomputed-every-call discipline are unchanged, but the
+potential-specific staging decisions now come from the
+:class:`~repro.core.pipeline.kernel.MultiBodyKernel` contract instead
+of being hard-wired.
+
+The paper's follow-up ("Sustainable performance through vectorization",
+arXiv:1710.00882) observes that portable implementations lose their
+speedups in the *scalar segment*: neighbor-list filtering and data
+staging, not the floating-point kernel.  The skin distance exists
+precisely so the neighbor list — and therefore the list-level topology
+— stays fixed for many consecutive MD steps, so staging is made
+step-persistent here.  Validity is layered:
+
+==========  ==========================================  =================
+layer       keyed on                                    caches
+==========  ==========================================  =================
+L1 (list)   ``NeighborList`` identity + ``version``     full-list (i, j)
+                                                        expansion
+L2 (types)  L1 + the system's ``type`` array (by        ``ti``/``tj``,
+            value); only for kernels with               ``pair_flat``,
+            ``uses_types``                              per-entry cutoff
+L3 (masks)  L2 + the per-pair cutoff mask and (when     filtered pair /
+            the kernel has a separate k-candidate       k-candidate
+            cutoff) the Sec. IV-D max-cutoff mask,      topology, triplet
+            compared element-wise against the           expansion, the
+            previous call; skipped entirely for         kernel's
+            unfiltered (scheme-1a) kernels              parameter gathers
+                                                        and segsum
+                                                        indices
+==========  ==========================================  =================
+
+Geometry (``d``, ``r``) is recomputed from the current positions on
+*every* call — forces always follow the atoms — and the cutoff masks
+are recomputed from that fresh geometry, so a pair drifting across a
+cutoff boundary between neighbor rebuilds invalidates L3 exactly when
+it must.  A cache **hit** therefore reuses only arrays that the cold
+path would have recomputed to identical values, which is what makes
+hits bit-for-bit exact rather than approximately right.
+
+Counters: an L1/L2 change is an *invalidation* (the list was rebuilt or
+repointed), a mask drift at fixed list version is a *miss*, everything
+else is a *hit*.
+"""
+
+from __future__ import annotations
+
+import weakref
+
+import numpy as np
+
+from repro.analysis import hot_path
+from repro.core.pipeline.kernel import MultiBodyKernel, Staging
+from repro.core.pipeline.topology import PairData, pair_geometry
+from repro.core.pipeline.workspace import CacheStats, Workspace
+
+
+class InteractionCache:
+    """Step-persistent staging for one pipeline kernel.
+
+    One instance per potential; see the module docstring for the
+    validity layers.  ``prepare`` returns a :class:`Staging` whose
+    geometry arrays live in the shared :class:`Workspace` (valid until
+    the next ``prepare`` call on the same cache).
+    """
+
+    def __init__(self, workspace: Workspace | None = None):
+        self.workspace = workspace if workspace is not None else Workspace()
+        self.stats = CacheStats()
+        self._neigh_ref = lambda: None
+        self._version = -1
+        self._n_atoms = -1
+        # L1: full-list topology
+        self._i_full: np.ndarray | None = None
+        self._j_full: np.ndarray | None = None
+        # L2: type staging (kernels with uses_types)
+        self._types: np.ndarray | None = None
+        self._ti_full: np.ndarray | None = None
+        self._tj_full: np.ndarray | None = None
+        self._pair_flat_full: np.ndarray | None = None
+        self._cut_full = None  # per-entry array, or a scalar cutoff
+        # L3: mask-keyed filtered staging
+        self._maskp: np.ndarray | None = None
+        self._maskm: np.ndarray | None = None
+        self._staging: Staging | None = None
+
+    def __reduce__(self):
+        # Pickle as a *fresh* cache: the internals hold a weakref and
+        # workspace views that must not cross process boundaries, and a
+        # cold cache is exact (hits only ever reuse recomputable
+        # arrays), so "spawn" workers simply warm their own copy.
+        return (InteractionCache, ())
+
+    @hot_path(reason="per-step staging; geometry scratch must come from the Workspace")
+    def prepare(self, system, neigh, kernel: MultiBodyKernel) -> Staging:
+        ws = self.workspace
+        topo_valid = True
+        if (
+            self._neigh_ref() is not neigh
+            or self._version != neigh.version
+            or self._n_atoms != system.n
+        ):
+            self._i_full, self._j_full = neigh.pairs()
+            self._neigh_ref = weakref.ref(neigh)
+            self._version = neigh.version
+            self._n_atoms = system.n
+            self._types = None
+            topo_valid = False
+        if self._types is None or (
+            kernel.uses_types and not np.array_equal(system.type, self._types)
+        ):
+            if kernel.uses_types:
+                self._types = system.type.copy()
+                ti = system.type[self._i_full].astype(np.int64)
+                tj = system.type[self._j_full].astype(np.int64)
+                self._ti_full, self._tj_full = ti, tj
+                self._pair_flat_full = kernel.pair_type_index(ti, tj)
+                self._cut_full = kernel.pair_cutoffs(self._pair_flat_full)
+            else:
+                # type-blind kernel: never re-key on system.type
+                self._types = self._i_full
+                self._ti_full = self._tj_full = self._pair_flat_full = None
+                self._cut_full = kernel.pair_cutoffs(None)
+            topo_valid = False
+
+        i_idx, j_idx = self._i_full, self._j_full
+        L = i_idx.shape[0]
+        d, r = pair_geometry(
+            system.x, system.box, i_idx, j_idx, workspace=ws, want_r=kernel.needs_r
+        )
+
+        if not kernel.uses_filter:
+            # unfiltered kernels (scheme 1a) mask in-register: validity
+            # is purely topological, every same-version call is a hit
+            if topo_valid:
+                self.stats.hits += 1
+                self.stats.last_event = "hit"
+            else:
+                self.stats.invalidations += 1
+                self.stats.last_event = "invalidated"
+                self._staging = self._build_staging(kernel, None, None, L)
+            st = self._staging
+            st.pairs.d = d
+            st.pairs.r = r
+            return st
+
+        maskp = ws.buf("maskp", L, bool)
+        if kernel.cutoff_inclusive:
+            np.less_equal(r, self._cut_full, out=maskp)
+        else:
+            np.less(r, self._cut_full, out=maskp)
+        if kernel.separate_kcand:
+            maskm = ws.buf("maskm", L, bool)
+            np.less_equal(r, kernel.kcand_cutoff, out=maskm)
+        else:
+            maskm = maskp
+
+        if (
+            topo_valid
+            and self._maskp is not None
+            and np.array_equal(maskp, self._maskp)
+            and np.array_equal(maskm, self._maskm)
+        ):
+            self.stats.hits += 1
+            self.stats.last_event = "hit"
+        else:
+            if topo_valid:
+                self.stats.misses += 1
+                self.stats.last_event = "miss"
+            else:
+                self.stats.invalidations += 1
+                self.stats.last_event = "invalidated"
+            self._maskp = maskp.copy()
+            self._maskm = self._maskp if maskm is maskp else maskm.copy()
+            self._staging = self._build_staging(kernel, maskp, maskm, L)
+
+        st = self._staging
+        # fresh geometry every call (hit or not): compress the full-list
+        # d/r through the masks into reused buffers — identical values to
+        # the cold path's boolean indexing.
+        P = st.pairs.n_pairs
+        st.pairs.d = np.compress(maskp, d, axis=0, out=ws.buf("dp", (P, 3), np.float64))
+        st.pairs.r = np.compress(maskp, r, out=ws.buf("rp", P, np.float64))
+        if st.kcand is not st.pairs:
+            K = st.kcand.n_pairs
+            st.kcand.d = np.compress(maskm, d, axis=0, out=ws.buf("dk", (K, 3), np.float64))
+            st.kcand.r = np.compress(maskm, r, out=ws.buf("rk", K, np.float64))
+        return st
+
+    def _build_staging(self, kernel, maskp, maskm, n_list: int) -> Staging:
+        i_idx, j_idx = self._i_full, self._j_full
+        empty = np.empty(0, dtype=np.float64)
+        if maskp is None:
+            # unfiltered: the full skin-extended list is the pair set
+            zt = np.zeros(n_list, dtype=np.int64)
+            pairs = PairData(
+                i_idx=i_idx, j_idx=j_idx, d=empty, r=empty,
+                ti=zt, tj=zt, pair_flat=zt,
+                n_atoms=self._n_atoms, n_list_entries=n_list,
+            )
+            return kernel.build_staging(pairs, pairs)
+        if self._ti_full is None:
+            zt = np.zeros(int(np.count_nonzero(maskp)), dtype=np.int64)
+            ti_p = tj_p = pf_p = zt
+        else:
+            ti_p = self._ti_full[maskp]
+            tj_p = self._tj_full[maskp]
+            pf_p = self._pair_flat_full[maskp]
+        pairs = PairData(
+            i_idx=i_idx[maskp], j_idx=j_idx[maskp], d=empty, r=empty,
+            ti=ti_p, tj=tj_p, pair_flat=pf_p,
+            n_atoms=self._n_atoms, n_list_entries=n_list,
+        )
+        if maskm is maskp:
+            kcand = pairs
+        else:
+            kcand = PairData(
+                i_idx=i_idx[maskm], j_idx=j_idx[maskm], d=empty, r=empty,
+                ti=self._ti_full[maskm], tj=self._tj_full[maskm],
+                pair_flat=self._pair_flat_full[maskm],
+                n_atoms=self._n_atoms, n_list_entries=n_list,
+            )
+        return kernel.build_staging(pairs, kcand)

@@ -1,0 +1,108 @@
+"""The kernel protocol of the staged pipeline.
+
+A :class:`MultiBodyKernel` is the *computational component* of the
+paper's filter/compute split: it declares, via class attributes, what
+the potential-agnostic filter/staging layer must produce (typed pair
+tables? inclusive or strict cutoff comparison? a separate max-cutoff
+k-candidate set? distances or only squared distances?), builds its own
+topology-derived staging once per cache (in)validation, and evaluates
+energies/forces from fresh per-call geometry.
+
+The pipeline (:mod:`repro.core.pipeline.pipeline`) and the cache
+(:mod:`repro.core.pipeline.cache`) are the only callers; a new
+potential implements exactly these hooks and inherits step-persistent
+caching, workspace reuse, precision discipline and the full
+``ForceResult.stats`` contract for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pipeline.topology import PairData, TripletData
+from repro.md.potential import ForceResult
+
+
+@dataclass
+class Staging:
+    """Everything a kernel consumes for one force call.
+
+    ``pairs``/``kcand`` carry fresh geometry every call (the cache
+    rewrites their ``d``/``r`` views before each ``evaluate``); all
+    other fields are topology or parameter pulls that the cache may
+    reuse across calls.  ``kcand`` may be the same object as ``pairs``
+    (kernels without a separate k-candidate cutoff).  ``idx3`` holds
+    the fused segmented-sum index arrays; ``gathers`` is the kernel's
+    own bag of topology-derived arrays (parameter gathers, lane
+    layouts, ...).
+    """
+
+    pairs: PairData
+    kcand: PairData
+    tri: TripletData | None = None
+    idx3: dict[str, np.ndarray] = field(default_factory=dict)
+    gathers: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class MultiBodyKernel:
+    """Base class for pipeline kernels.
+
+    Class attributes declare the staging contract:
+
+    ``uses_types``
+        The kernel distinguishes atom types; the cache stages
+        ``ti``/``tj``/``pair_flat`` (L2) via :meth:`pair_type_index`
+        and per-entry cutoffs via :meth:`pair_cutoffs`.  When False the
+        type columns are zeros and :meth:`pair_cutoffs` must return a
+        scalar cutoff.
+    ``uses_filter``
+        The staging layer filters list entries against the cutoff
+        before the kernel sees them.  When False the kernel receives
+        the *full* skin-extended list (scheme-(1a) potentials mask
+        in-register) and validity is purely topological (L1): every
+        call at an unchanged list version is a cache hit.
+    ``cutoff_inclusive``
+        ``r <= cut`` (Tersoff's convention) vs strict ``r < cut``
+        (Stillinger-Weber, whose tail function diverges at exactly
+        ``r == cut``).
+    ``separate_kcand``
+        The triplet k-candidate set uses its own (max-over-type-pairs)
+        cutoff, Sec. IV-D; :attr:`kcand_cutoff` must be set.  When
+        False the k-candidates are the filtered pairs themselves.
+    ``needs_r``
+        The kernel needs distances; when False the staging layer skips
+        the square root (and the non-finite guard that needs it) and
+        stages *squared* distances in ``pairs.r`` instead.
+    """
+
+    uses_types: bool = False
+    uses_filter: bool = True
+    cutoff_inclusive: bool = True
+    separate_kcand: bool = False
+    needs_r: bool = True
+
+    #: max-cutoff radius of the k-candidate set (``separate_kcand``).
+    kcand_cutoff: float = 0.0
+
+    def pair_type_index(self, ti: np.ndarray, tj: np.ndarray) -> np.ndarray:
+        """Flat parameter-table index of each (ti, tj) list entry."""
+        raise NotImplementedError
+
+    def pair_cutoffs(self, pair_flat: np.ndarray | None):
+        """Per-entry cutoff array (typed kernels) or a scalar cutoff."""
+        raise NotImplementedError
+
+    def build_staging(self, pairs: PairData, kcand: PairData) -> Staging:
+        """Topology-derived staging (triplets, gathers, segsum indices).
+
+        Called only when the cache (re)validates; everything built here
+        is reused across calls until the topology or masks change, so
+        it must not depend on geometry.
+        """
+        raise NotImplementedError
+
+    def evaluate(self, st: Staging, n: int) -> ForceResult:
+        """The computational component: one force call over staged work."""
+        raise NotImplementedError

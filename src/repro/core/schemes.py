@@ -74,6 +74,7 @@ def make_solver(
     *,
     isa: ISA | str = "avx2",
     use_lane_simulator: bool = False,
+    cache: bool = True,
     **vector_options,
 ) -> Potential:
     """Construct the potential implementing one of the paper's modes.
@@ -89,6 +90,10 @@ def make_solver(
         (instruction-counting, slower) instead of the wide
         :class:`~repro.core.tersoff.production.TersoffProduction`
         (fast, for real simulations).
+    cache:
+        Step-persistent interaction cache of the production path
+        (default on; bit-for-bit identical either way).  Ignored for
+        ``"Ref"`` and the lane simulator.
     vector_options:
         Forwarded to :class:`TersoffVectorized` (scheme, fast_forward,
         filter_neighbors, kmax).
@@ -100,7 +105,7 @@ def make_solver(
         return TersoffVectorized(params, isa=isa, precision=precision, **vector_options)
     if vector_options:
         raise ValueError("vector options only apply with use_lane_simulator=True")
-    return TersoffProduction(params, precision=precision)
+    return TersoffProduction(params, precision=precision, cache=cache)
 
 
 def make_scalar_optimized(params: TersoffParams, *, kmax: int = 8) -> Potential:

@@ -1,63 +1,89 @@
-"""Batched Stillinger-Weber — reusing the Tersoff filter machinery.
+"""Batched Stillinger-Weber on the potential-agnostic staged pipeline.
 
 The point of this module is the paper's generality claim: the *same*
-scalar filter (:func:`repro.core.tersoff.prepare.build_pairs`) and
-triplet expansion feed a completely different multi-body functional
-form.  Only the inner arithmetic changed; the packing, masking and
-accumulation strategy carried over verbatim.
+scalar filter, triplet expansion, step-persistent interaction cache
+and segmented-sum accumulation feed a completely different multi-body
+functional form.  Only the inner arithmetic is SW-specific; the
+packing, caching and accumulation strategy come from
+:mod:`repro.core.pipeline`.
+
+SW declares a *strict* cutoff comparison (``r < cut``): its tail
+function ``exp(sigma/(r - cut))`` diverges at exactly ``r == cut``, so
+an inclusive filter would poison the batch.  The k-candidate set is
+the filtered pair set itself (single species, single cutoff).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import hot_path
+from repro.core.pipeline import (
+    MultiBodyKernel,
+    PairData,
+    PipelinePotential,
+    Staging,
+    TripletData,
+    build_triplets,
+    idx3_of,
+    segsum3,
+)
 from repro.core.sw.functional import phi2, phi3
 from repro.core.sw.parameters import SWParams
-from repro.core.tersoff.cache import segsum3
-from repro.core.tersoff.prepare import PairData, build_triplets
-from repro.md.atoms import AtomSystem
-from repro.md.neighbor import NeighborList
-from repro.md.potential import ForceResult, Potential
+from repro.md.potential import ForceResult
 from repro.vector.precision import Precision
 
 
-class StillingerWeberProduction(Potential):
-    """Wide batched SW with double/single/mixed precision."""
+class SWKernel(MultiBodyKernel):
+    """The Stillinger-Weber computational component."""
 
-    needs_full_list = True
+    uses_types = False
+    uses_filter = True
+    cutoff_inclusive = False  # the SW tail diverges at r == cut
+    separate_kcand = False
+    needs_r = True
 
-    def __init__(self, params: SWParams, *, precision: Precision | str = Precision.DOUBLE):
+    def __init__(self, params: SWParams, precision: Precision):
         self.params = params
-        self.precision = Precision.parse(precision)
-        self.cutoff = params.cut
+        self.precision = precision
 
-    def _pairs(self, system: AtomSystem, neigh: NeighborList) -> PairData:
-        """SW has a single species/cutoff: filter directly on it."""
-        i_idx, j_idx = neigh.pairs()
-        d = system.box.minimum_image(system.x[j_idx] - system.x[i_idx])
-        # sqrt of a sum of squares: argument is nonnegative by construction
-        r = np.sqrt(np.einsum("ij,ij->i", d, d))  # repro-lint: disable=KA004
-        if not np.isfinite(r).all():
-            bad = int(i_idx[np.nonzero(~np.isfinite(r))[0][0]])
-            raise ValueError(f"non-finite interatomic distance involving atom {bad}")
-        keep = r < self.params.cut
-        zeros = np.zeros(int(np.count_nonzero(keep)), dtype=np.int64)
-        return PairData(
-            i_idx=i_idx[keep], j_idx=j_idx[keep], d=d[keep], r=r[keep],
-            ti=zeros, tj=zeros, pair_flat=zeros,
-            n_atoms=system.n, n_list_entries=i_idx.shape[0],
+    def pair_cutoffs(self, pair_flat: np.ndarray | None) -> float:
+        return float(self.params.cut)
+
+    def build_staging(self, pairs: PairData, kcand: PairData) -> Staging:
+        # unordered (j, k) via ordered expansion + row filter: each
+        # unordered triplet once — topology-only, so it is cached
+        tri = build_triplets(pairs, kcand)
+        keep = tri.tri_k > tri.tri_pair
+        tp = tri.tri_pair[keep]
+        tk = tri.tri_k[keep]
+        return Staging(
+            pairs=pairs,
+            kcand=kcand,
+            tri=TripletData(tri_pair=tp, tri_k=tk, n_pairs=pairs.n_pairs),
+            idx3={
+                "pair_i": idx3_of(pairs.i_idx),
+                "pair_j": idx3_of(pairs.j_idx),
+                "tri_i": idx3_of(pairs.i_idx[tp]),
+                "tri_j": idx3_of(pairs.j_idx[tp]),
+                "tri_k": idx3_of(pairs.j_idx[tk]),
+            },
         )
 
-    def compute(self, system: AtomSystem, neigh: NeighborList) -> ForceResult:
-        self.check_list(neigh)
+    @hot_path(reason="computational part of every SW force call")
+    def evaluate(self, st: Staging, n: int) -> ForceResult:
         p = self.params
         cd = self.precision.compute_dtype
-        n = system.n
-        pairs = self._pairs(system, neigh)
+        pairs = st.pairs
+        idx3 = st.idx3
         P = pairs.n_pairs
         if P == 0:
-            return ForceResult(energy=0.0, forces=np.zeros((n, 3), dtype=np.float64), virial=0.0,
-                               stats={"pairs_in_cutoff": 0, "triples": 0})
+            return ForceResult(energy=0.0, forces=np.zeros((n, 3), dtype=np.float64),  # repro-lint: disable=KA003
+                               virial=0.0,
+                               stats={"pairs_in_cutoff": 0, "triples": 0,
+                                      "filter_efficiency": pairs.filter_efficiency,
+                                      "virial_tensor": np.zeros((3, 3), dtype=np.float64),  # repro-lint: disable=KA003
+                                      "per_atom_energy": np.zeros(n, dtype=np.float64)})  # repro-lint: disable=KA003
 
         d_ij = pairs.d.astype(cd)
         r_ij = pairs.r.astype(cd)
@@ -65,19 +91,21 @@ class StillingerWeberProduction(Potential):
         # ---- two-body -------------------------------------------------------
         e2, de2 = phi2(r_ij, p)
         # dense filtered pairs: r_ij > 0 for every retained row
-        fpair = (-0.5 * de2 / r_ij).astype(np.float64)  # repro-lint: disable=KA004
+        fpair = (-0.5 * de2 / r_ij).astype(np.float64)
         energy = 0.5 * float(np.sum(e2.astype(np.float64)))
         fvec = fpair[:, None] * pairs.d
-        forces = np.zeros((n, 3), dtype=np.float64)
-        forces -= segsum3(pairs.i_idx, fvec, n)
-        forces += segsum3(pairs.j_idx, fvec, n)
+        # force accumulator must start zeroed; Workspace.buf hands back
+        # uninitialized capacity, so a fresh allocation is the honest cost
+        forces = np.zeros((n, 3), dtype=np.float64)  # repro-lint: disable=KA003
+        forces -= segsum3(pairs.i_idx, fvec, n, np.float64, idx3=idx3.get("pair_i"))
+        forces += segsum3(pairs.j_idx, fvec, n, np.float64, idx3=idx3.get("pair_j"))
         virial = float(np.sum(fpair * pairs.r * pairs.r))
+        # full virial tensor W_ab = sum d_a F_b (pair part: F on j is fvec)
+        stress = np.einsum("ia,ib->ab", pairs.d, fvec)
 
-        # ---- three-body: unordered (j, k) via ordered expansion + row filter -
-        tri = build_triplets(pairs, pairs)
-        keep = tri.tri_k > tri.tri_pair  # each unordered pair once
-        tp = tri.tri_pair[keep]
-        tk = tri.tri_k[keep]
+        # ---- three-body: the staged triplets hold each unordered pair once --
+        tp = st.tri.tri_pair
+        tk = st.tri.tri_k
         T = tp.shape[0]
         if T:
             rij_t = r_ij[tp]
@@ -93,11 +121,14 @@ class StillingerWeberProduction(Potential):
             dcos_dk = hat_ij / rik_t[:, None] - (cos_t / rik_t)[:, None] * hat_ik
             fj = -(de_drij[:, None] * hat_ij + de_dcos[:, None] * dcos_dj).astype(np.float64)
             fk = -(de_drik[:, None] * hat_ik + de_dcos[:, None] * dcos_dk).astype(np.float64)
-            forces += segsum3(pairs.j_idx[tp], fj, n)
-            forces += segsum3(pairs.j_idx[tk], fk, n)
-            forces -= segsum3(pairs.i_idx[tp], fj + fk, n)
+            forces += segsum3(pairs.j_idx[tp], fj, n, np.float64, idx3=idx3.get("tri_j"))
+            forces += segsum3(pairs.j_idx[tk], fk, n, np.float64, idx3=idx3.get("tri_k"))
+            forces -= segsum3(pairs.i_idx[tp], fj + fk, n, np.float64, idx3=idx3.get("tri_i"))
             virial += float(np.sum(np.einsum("ij,ij->i", pairs.d[tp], fj)
                                    + np.einsum("ij,ij->i", pairs.d[tk], fk)))
+            # triplet virial tensor: F on j is +fj, on k is +fk
+            stress += np.einsum("ia,ib->ab", pairs.d[tp], fj)
+            stress += np.einsum("ia,ib->ab", pairs.d[tk], fk)
 
         # per-atom energies: half of each ordered pair to i, each triple
         # to its center atom
@@ -107,5 +138,37 @@ class StillingerWeberProduction(Potential):
         stats = {"pairs_in_cutoff": P, "triples": int(T),
                  "list_entries": pairs.n_list_entries,
                  "filter_efficiency": pairs.filter_efficiency,
+                 "virial_tensor": 0.5 * (stress + stress.T),
                  "per_atom_energy": per_atom}
         return ForceResult(energy=energy, forces=forces, virial=virial, stats=stats)
+
+
+class StillingerWeberProduction(PipelinePotential):
+    """Wide batched SW with double/single/mixed precision.
+
+    Parameters
+    ----------
+    params:
+        Stillinger-Weber parameterization.
+    precision:
+        ``"double"``, ``"single"`` or ``"mixed"`` — the computational
+        batches run in the compute dtype, accumulation in double.
+    cache:
+        Step-persistent interaction cache (default on).  ``False``
+        stages through an ephemeral cache per call; results are
+        bit-for-bit identical either way.
+    """
+
+    needs_full_list = True
+
+    def __init__(
+        self,
+        params: SWParams,
+        *,
+        precision: Precision | str = Precision.DOUBLE,
+        cache: bool = True,
+    ):
+        self.params = params
+        self.precision = Precision.parse(precision)
+        self.cutoff = params.cut
+        super().__init__(SWKernel(params, self.precision), cache=cache)

@@ -24,7 +24,7 @@ import numpy as np
 from repro.core.sw.functional import phi2, phi3
 from repro.core.sw.parameters import SWParams
 from repro.core.tersoff.kernels import charge
-from repro.core.tersoff.prepare import group_by_i
+from repro.core.pipeline import group_by_i
 from repro.md.atoms import AtomSystem
 from repro.md.neighbor import NeighborList
 from repro.md.potential import ForceResult, Potential

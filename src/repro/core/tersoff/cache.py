@@ -1,312 +1,29 @@
-"""Step-persistent interaction cache + reusable workspace for the
-production Tersoff path.
+"""Compatibility shim — the interaction cache moved to
+:mod:`repro.core.pipeline`.
 
-The paper's follow-up ("Sustainable performance through vectorization",
-arXiv:1710.00882) observes that portable implementations lose their
-speedups in the *scalar segment*: neighbor-list filtering and data
-staging, not the floating-point kernel.  Our production path used to
-redo all of that staging on every force call even though the skin
-distance exists precisely so the neighbor list — and therefore the
-list-level topology — stays fixed for many consecutive MD steps.
-
-This module makes the staging step-persistent.  Validity is layered:
-
-==========  ==========================================  =================
-layer       keyed on                                    caches
-==========  ==========================================  =================
-L1 (list)   ``NeighborList`` identity + ``version``     full-list (i, j)
-                                                        expansion
-L2 (types)  L1 + the system's ``type`` array (by        ``ti``/``tj``,
-            value)                                      ``pair_flat``,
-                                                        per-entry cutoff
-L3 (masks)  L2 + the R+D mask and the Sec. IV-D         filtered pair /
-            max-cutoff mask (compared element-wise      k-candidate
-            against the previous call)                  topology, triplet
-                                                        expansion, the
-                                                        17-field
-                                                        parameter
-                                                        gathers, fused
-                                                        segmented-sum
-                                                        index arrays
-==========  ==========================================  =================
-
-Geometry (``d``, ``r``) is recomputed from the current positions on
-*every* call — forces always follow the atoms — and the cutoff masks
-are recomputed from that fresh geometry, so a pair drifting across a
-cutoff boundary between neighbor rebuilds invalidates L3 exactly when
-it must.  A cache **hit** therefore reuses only arrays that the cold
-path would have recomputed to identical values, which is what makes
-hits bit-for-bit exact rather than approximately right.
-
-Counters: an L1/L2 change is an *invalidation* (the list was rebuilt or
-repointed), a mask drift at fixed list version is a *miss*, everything
-else is a *hit*.
+PR 2 introduced the step-persistent staging here, hard-wired to the
+Tersoff production path; it is now the potential-agnostic pipeline
+cache (Tersoff, Stillinger-Weber and the vectorized LJ contrast case
+all stage through it).  Historical import sites keep working via this
+re-export.
 """
 
-from __future__ import annotations
+from repro.core.pipeline import (
+    CacheStats,
+    InteractionCache,
+    Staging,
+    Workspace,
+    idx3_of,
+    segsum3,
+    segsum3_loop,
+)
 
-import weakref
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.analysis import hot_path
-from repro.core.tersoff.kernels import PROD_PAIR_FIELDS, PROD_TRIPLET_FIELDS, gather_flat
-from repro.core.tersoff.prepare import PairData, TripletData, build_triplets, pair_geometry
-
-_AXES3 = np.arange(3, dtype=np.int64)
-
-
-class Workspace:
-    """Capacity-doubling, dtype-aware scratch arena.
-
-    ``buf(name, shape, dtype)`` returns a view of a persistent named
-    buffer, reallocating only when the request outgrows the capacity
-    (then at least doubling, so a fluctuating pair count settles into
-    zero steady-state allocation).  Buffers are *not* zeroed — callers
-    must fully overwrite them, which every user in this module does.
-    """
-
-    def __init__(self) -> None:
-        self._bufs: dict[str, np.ndarray] = {}
-        self.grow_events = 0
-
-    def buf(self, name: str, shape, dtype) -> np.ndarray:
-        dtype = np.dtype(dtype)
-        shape = (int(shape),) if np.ndim(shape) == 0 else tuple(int(s) for s in shape)
-        need = 1
-        for s in shape:
-            need *= s
-        cur = self._bufs.get(name)
-        if cur is None or cur.dtype != dtype:
-            self._bufs[name] = np.empty(need, dtype=dtype)
-            self.grow_events += 1
-        elif cur.size < need:
-            self._bufs[name] = np.empty(max(need, 2 * cur.size), dtype=dtype)
-            self.grow_events += 1
-        return self._bufs[name][:need].reshape(shape)
-
-    @property
-    def nbytes(self) -> int:
-        return sum(b.nbytes for b in self._bufs.values())
-
-
-@dataclass
-class CacheStats:
-    """Cumulative cache behaviour of one potential instance."""
-
-    hits: int = 0
-    misses: int = 0
-    invalidations: int = 0
-    last_event: str = "cold"
-
-    @property
-    def calls(self) -> int:
-        return self.hits + self.misses + self.invalidations
-
-    def as_dict(self) -> dict:
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "invalidations": self.invalidations,
-            "last_event": self.last_event,
-        }
-
-
-# ---- fused segmented sums ----------------------------------------------------
-
-def idx3_of(idx: np.ndarray) -> np.ndarray:
-    """The ``idx * 3 + axis`` flat index of the fused segmented sum.
-
-    Topology-only, so the interaction cache precomputes it once per
-    filtered topology instead of once per force call.
-    """
-    return (idx[:, None] * 3 + _AXES3).ravel()
-
-
-@hot_path(reason="conflict-safe accumulation primitive on the per-step path")
-def segsum3(
-    idx: np.ndarray,
-    vec: np.ndarray,
-    n: int,
-    out_dtype=np.float64,
-    *,
-    idx3: np.ndarray | None = None,
-) -> np.ndarray:
-    """Fused segmented sum of (T, 3) vectors by row index -> (n, 3).
-
-    One ``np.bincount`` over ``idx * 3 + axis`` replaces the old
-    three-pass per-axis loop.  Bit-for-bit identical to the loop:
-    bincount accumulates in input order either way, and each (row, axis)
-    element maps to exactly one bin.
-    """
-    if idx3 is None:
-        idx3 = idx3_of(idx)
-    w = np.ascontiguousarray(vec, dtype=np.float64).reshape(-1)
-    out = np.bincount(idx3, weights=w, minlength=3 * n).reshape(-1, 3)[:n]
-    return out.astype(out_dtype, copy=False)
-
-
-def segsum3_loop(idx: np.ndarray, vec: np.ndarray, n: int, out_dtype=np.float64) -> np.ndarray:
-    """The pre-fusion three-pass variant, kept as the micro-benchmark
-    and equivalence baseline for :func:`segsum3`."""
-    out = np.empty((n, 3), dtype=np.float64)
-    for axis in range(3):
-        out[:, axis] = np.bincount(idx, weights=vec[:, axis], minlength=n)
-    return out.astype(out_dtype, copy=False)
-
-
-# ---- staged topology ---------------------------------------------------------
-
-@dataclass
-class Staging:
-    """Everything the production kernel consumes for one force call.
-
-    ``pairs``/``kcand`` carry fresh geometry every call; all other
-    fields are topology or parameter pulls that the cache may reuse.
-    ``idx3`` holds the fused segmented-sum index arrays (empty for the
-    cold path, which recomputes them per call like the old code did).
-    """
-
-    pairs: PairData
-    kcand: PairData
-    tri: TripletData
-    tflat: np.ndarray  # (T,) flat (ti, tj, tk) parameter index
-    pair_p: dict[str, np.ndarray]  # 12 per-pair fields at pair_flat
-    tri_p: dict[str, np.ndarray]  # 7 per-triplet fields at tflat
-    m_t: np.ndarray  # (T,) the m selector at tflat (float64)
-    idx3: dict[str, np.ndarray]
-
-
-class InteractionCache:
-    """Step-persistent staging for :class:`TersoffProduction`.
-
-    One instance per potential; see the module docstring for the
-    validity layers.  ``prepare`` returns a :class:`Staging` whose
-    geometry arrays live in the shared :class:`Workspace` (valid until
-    the next ``prepare`` call on the same cache).
-    """
-
-    def __init__(self, workspace: Workspace | None = None):
-        self.workspace = workspace if workspace is not None else Workspace()
-        self.stats = CacheStats()
-        self._neigh_ref = lambda: None
-        self._version = -1
-        self._n_atoms = -1
-        # L1: full-list topology
-        self._i_full: np.ndarray | None = None
-        self._j_full: np.ndarray | None = None
-        # L2: type staging
-        self._types: np.ndarray | None = None
-        self._ti_full: np.ndarray | None = None
-        self._tj_full: np.ndarray | None = None
-        self._pair_flat_full: np.ndarray | None = None
-        self._cut_full: np.ndarray | None = None
-        # L3: mask-keyed filtered staging
-        self._maskp: np.ndarray | None = None
-        self._maskm: np.ndarray | None = None
-        self._staging: Staging | None = None
-
-    def __reduce__(self):
-        # Pickle as a *fresh* cache: the internals hold a weakref and
-        # workspace views that must not cross process boundaries, and a
-        # cold cache is exact (hits only ever reuse recomputable
-        # arrays), so "spawn" workers simply warm their own copy.
-        return (InteractionCache, ())
-
-    @hot_path(reason="per-step staging; geometry scratch must come from the Workspace")
-    def prepare(self, system, neigh, flat, pblock: dict[str, np.ndarray], p_m: np.ndarray) -> Staging:
-        ws = self.workspace
-        topo_valid = True
-        if (
-            self._neigh_ref() is not neigh
-            or self._version != neigh.version
-            or self._n_atoms != system.n
-        ):
-            self._i_full, self._j_full = neigh.pairs()
-            self._neigh_ref = weakref.ref(neigh)
-            self._version = neigh.version
-            self._n_atoms = system.n
-            self._types = None
-            topo_valid = False
-        if self._types is None or not np.array_equal(system.type, self._types):
-            self._types = system.type.copy()
-            ti = system.type[self._i_full].astype(np.int64)
-            tj = system.type[self._j_full].astype(np.int64)
-            self._ti_full, self._tj_full = ti, tj
-            self._pair_flat_full = (ti * flat.ntypes + tj) * flat.ntypes + tj
-            self._cut_full = flat.cut[self._pair_flat_full]
-            topo_valid = False
-
-        i_idx, j_idx = self._i_full, self._j_full
-        L = i_idx.shape[0]
-        d, r = pair_geometry(system.x, system.box, i_idx, j_idx, workspace=ws)
-        maskp = ws.buf("maskp", L, bool)
-        np.less_equal(r, self._cut_full, out=maskp)
-        maskm = ws.buf("maskm", L, bool)
-        np.less_equal(r, float(np.max(flat.cut)), out=maskm)
-
-        if (
-            topo_valid
-            and self._maskp is not None
-            and np.array_equal(maskp, self._maskp)
-            and np.array_equal(maskm, self._maskm)
-        ):
-            self.stats.hits += 1
-            self.stats.last_event = "hit"
-        else:
-            if topo_valid:
-                self.stats.misses += 1
-                self.stats.last_event = "miss"
-            else:
-                self.stats.invalidations += 1
-                self.stats.last_event = "invalidated"
-            self._maskp = maskp.copy()
-            self._maskm = maskm.copy()
-            self._staging = self._build_staging(flat, pblock, p_m, maskp, maskm, L)
-
-        st = self._staging
-        # fresh geometry every call (hit or not): compress the full-list
-        # d/r through the masks into reused buffers — identical values to
-        # the cold path's boolean indexing.
-        P, K = st.pairs.n_pairs, st.kcand.n_pairs
-        st.pairs.d = np.compress(maskp, d, axis=0, out=ws.buf("dp", (P, 3), np.float64))
-        st.pairs.r = np.compress(maskp, r, out=ws.buf("rp", P, np.float64))
-        st.kcand.d = np.compress(maskm, d, axis=0, out=ws.buf("dk", (K, 3), np.float64))
-        st.kcand.r = np.compress(maskm, r, out=ws.buf("rk", K, np.float64))
-        return st
-
-    def _build_staging(self, flat, pblock, p_m, maskp, maskm, n_list: int) -> Staging:
-        i_idx, j_idx = self._i_full, self._j_full
-        empty = np.empty(0, dtype=np.float64)
-        pairs = PairData(
-            i_idx=i_idx[maskp], j_idx=j_idx[maskp], d=empty, r=empty,
-            ti=self._ti_full[maskp], tj=self._tj_full[maskp],
-            pair_flat=self._pair_flat_full[maskp],
-            n_atoms=self._n_atoms, n_list_entries=n_list,
-        )
-        kcand = PairData(
-            i_idx=i_idx[maskm], j_idx=j_idx[maskm], d=empty, r=empty,
-            ti=self._ti_full[maskm], tj=self._tj_full[maskm],
-            pair_flat=self._pair_flat_full[maskm],
-            n_atoms=self._n_atoms, n_list_entries=n_list,
-        )
-        tri = build_triplets(pairs, kcand)
-        tp, tk = tri.tri_pair, tri.tri_k
-        tflat = (pairs.ti[tp] * flat.ntypes + pairs.tj[tp]) * flat.ntypes + kcand.tj[tk]
-        return Staging(
-            pairs=pairs,
-            kcand=kcand,
-            tri=tri,
-            tflat=tflat,
-            pair_p=gather_flat(pblock, pairs.pair_flat, PROD_PAIR_FIELDS),
-            tri_p=gather_flat(pblock, tflat, PROD_TRIPLET_FIELDS),
-            m_t=p_m[tflat],
-            idx3={
-                "pair_i": idx3_of(pairs.i_idx),
-                "pair_j": idx3_of(pairs.j_idx),
-                "tri_i": idx3_of(pairs.i_idx[tp]),
-                "tri_j": idx3_of(pairs.j_idx[tp]),
-                "tri_k": idx3_of(kcand.j_idx[tk]),
-            },
-        )
+__all__ = [
+    "CacheStats",
+    "InteractionCache",
+    "Staging",
+    "Workspace",
+    "idx3_of",
+    "segsum3",
+    "segsum3_loop",
+]

@@ -1,214 +1,27 @@
-"""Pair/triplet preparation — the paper's *filter component* (Sec. IV-B).
+"""Compatibility shim — the filter component moved to
+:mod:`repro.core.pipeline.topology`.
 
-The paper splits every vectorization scheme into a scalar *filter* that
-feeds work and a vectorized *computational* component: "the data is
-filtered to make sure that work is assigned to as many vector lanes as
-possible before entering the vectorized part.  This means that the
-interactions outside of the cutoff region never even reach the
-computational component."
-
-These helpers build exactly that filtered work list from the
-skin-extended neighbor list:
-
-- :func:`build_pairs` — all (i,j) list entries with distances, plus the
-  in-cutoff mask (per-type-pair cutoff and the Sec. IV-D maximum
-  cutoff);
-- :func:`build_triplets` — the (pair, k) expansion used by the wide
-  production path and by the vector schemes' dense-k layout.
+The pair/triplet preparation helpers were written for Tersoff but were
+always potential-agnostic (Stillinger-Weber and the vectorized LJ
+contrast case consumed them from here too); they now live in the
+staged pipeline package.  Historical import sites keep working via
+this re-export.
 """
 
-from __future__ import annotations
+from repro.core.pipeline.topology import (
+    PairData,
+    TripletData,
+    build_pairs,
+    build_triplets,
+    group_by_i,
+    pair_geometry,
+)
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.core.tersoff.parameters import FlatParams
-from repro.md.atoms import AtomSystem
-from repro.md.neighbor import NeighborList
-
-
-@dataclass
-class PairData:
-    """Filtered (i,j) interactions, sorted by i.
-
-    ``d``/``r`` are float64; precision casting happens inside the
-    kernels so a single preparation serves every precision mode.
-    """
-
-    i_idx: np.ndarray  # (P,) atom index of i
-    j_idx: np.ndarray  # (P,) atom index of j
-    d: np.ndarray  # (P, 3) minimum-image x_j - x_i
-    r: np.ndarray  # (P,)
-    ti: np.ndarray  # (P,) type of i
-    tj: np.ndarray  # (P,) type of j
-    pair_flat: np.ndarray  # (P,) flat index of entry (ti, tj, tj)
-    n_atoms: int
-    n_list_entries: int  # size of the skin-extended list (pre-filter)
-
-    @property
-    def n_pairs(self) -> int:
-        return int(self.i_idx.shape[0])
-
-    @property
-    def filter_efficiency(self) -> float:
-        """Fraction of list entries that survived the cutoff filter."""
-        if self.n_list_entries == 0:
-            return 1.0
-        return self.n_pairs / self.n_list_entries
-
-
-@dataclass
-class TripletData:
-    """The (pair, k) expansion for ζ accumulation.
-
-    ``tri_pair`` indexes rows of a :class:`PairData`; ``tri_k`` indexes
-    rows of the *k-candidate* pair set (which may be the same object).
-    """
-
-    tri_pair: np.ndarray  # (T,) row into the pair set
-    tri_k: np.ndarray  # (T,) row into the k-candidate set
-    n_pairs: int
-
-    @property
-    def n_triplets(self) -> int:
-        return int(self.tri_pair.shape[0])
-
-
-def pair_geometry(
-    x: np.ndarray,
-    box,
-    i_idx: np.ndarray,
-    j_idx: np.ndarray,
-    *,
-    workspace=None,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Minimum-image displacements ``x_j - x_i`` and distances.
-
-    The one genuinely position-dependent piece of pair staging; the
-    interaction cache (:mod:`repro.core.tersoff.cache`) recomputes this
-    every force call while reusing everything topological.  With a
-    `workspace` the result lives in reused scratch buffers (no per-call
-    allocation); the arithmetic is identical either way, so cached and
-    cold paths agree bit for bit.
-    """
-    L = i_idx.shape[0]
-    if workspace is None:
-        d = x[j_idx] - x[i_idx]
-    else:
-        d = workspace.buf("pair_d", (L, 3), np.float64)
-        xi = workspace.buf("pair_xi", (L, 3), np.float64)
-        np.take(x, j_idx, axis=0, out=d)
-        np.take(x, i_idx, axis=0, out=xi)
-        np.subtract(d, xi, out=d)
-    # in-place minimum image, same arithmetic as Box.minimum_image
-    tmp = None if workspace is None else workspace.buf("pair_mi", L, np.float64)
-    for axis in range(3):
-        if box.periodic[axis]:
-            span = box.lengths[axis]
-            col = d[..., axis]
-            if tmp is None:
-                col -= span * np.round(col / span)
-            else:
-                np.divide(col, span, out=tmp)
-                np.round(tmp, out=tmp)
-                tmp *= span
-                col -= tmp
-    if workspace is None:
-        r = np.sqrt(np.einsum("ij,ij->i", d, d))
-    else:
-        r2 = workspace.buf("pair_r", L, np.float64)
-        np.einsum("ij,ij->i", d, d, out=r2)
-        r = np.sqrt(r2, out=r2)
-    if not np.isfinite(r).all():
-        # NaN/inf distances compare False against every cutoff and would
-        # be *silently dropped* by the filter — fail loudly instead
-        bad = int(i_idx[np.nonzero(~np.isfinite(r))[0][0]])
-        raise ValueError(f"non-finite interatomic distance involving atom {bad}")
-    return d, r
-
-
-def build_pairs(
-    system: AtomSystem,
-    neigh: NeighborList,
-    flat: FlatParams,
-    *,
-    cutoff: str = "pair",
-) -> PairData:
-    """Extract and filter all (i,j) list entries.
-
-    Parameters
-    ----------
-    cutoff:
-        ``"pair"``  — keep entries with r <= R+D of the (ti,tj) entry
-        (the interactions that reach the computational component);
-        ``"max"``   — keep entries with r <= max cutoff over all type
-        pairs (the only *safe* radius for pre-filtering the neighbor
-        list itself, Sec. IV-D);
-        ``"none"``  — keep everything, skin atoms included.
-    """
-    i_idx, j_idx = neigh.pairs()
-    n_list = i_idx.shape[0]
-    d, r = pair_geometry(system.x, system.box, i_idx, j_idx)
-    ti = system.type[i_idx].astype(np.int64)
-    tj = system.type[j_idx].astype(np.int64)
-    pair_flat = (ti * flat.ntypes + tj) * flat.ntypes + tj
-
-    if cutoff == "pair":
-        keep = r <= flat.cut[pair_flat]
-    elif cutoff == "max":
-        keep = r <= float(np.max(flat.cut))
-    elif cutoff == "none":
-        keep = np.ones(n_list, dtype=bool)
-    else:
-        raise ValueError(f"unknown cutoff mode {cutoff!r}")
-
-    return PairData(
-        i_idx=i_idx[keep],
-        j_idx=j_idx[keep],
-        d=d[keep],
-        r=r[keep],
-        ti=ti[keep],
-        tj=tj[keep],
-        pair_flat=pair_flat[keep],
-        n_atoms=system.n,
-        n_list_entries=n_list,
-    )
-
-
-def _expand(starts: np.ndarray, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Flat (row, start+offset) expansion of per-row ranges."""
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
-    rows = np.repeat(np.arange(starts.shape[0], dtype=np.int64), counts)
-    row_first = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    within = np.arange(total, dtype=np.int64) - np.repeat(row_first, counts)
-    return rows, np.repeat(starts, counts) + within
-
-
-def group_by_i(idx_i: np.ndarray, n_atoms: int) -> tuple[np.ndarray, np.ndarray]:
-    """(starts, counts) of each atom's contiguous run in an i-sorted array."""
-    counts = np.bincount(idx_i, minlength=n_atoms).astype(np.int64)
-    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    return starts, counts
-
-
-def build_triplets(pairs: PairData, kcand: PairData) -> TripletData:
-    """Expand every pair (i,j) against every k-candidate of the same i.
-
-    ``kcand`` rows play the role of k: for pair row p with center atom
-    i, all rows q of `kcand` with center i and ``kcand.j_idx[q] !=
-    pairs.j_idx[p]`` become triplets (k = kcand.j_idx[q]).  Both inputs
-    must be sorted by their i index (the order :func:`build_pairs`
-    produces).
-    """
-    n_atoms = pairs.n_atoms
-    k_starts, k_counts = group_by_i(kcand.i_idx, n_atoms)
-    # per pair row: the k-candidate range of its center atom
-    p_start = k_starts[pairs.i_idx]
-    p_count = k_counts[pairs.i_idx]
-    tri_pair, tri_k = _expand(p_start, p_count)
-    # exclude k == j
-    keep = kcand.j_idx[tri_k] != pairs.j_idx[tri_pair]
-    return TripletData(tri_pair=tri_pair[keep], tri_k=tri_k[keep], n_pairs=pairs.n_pairs)
+__all__ = [
+    "PairData",
+    "TripletData",
+    "build_pairs",
+    "build_triplets",
+    "group_by_i",
+    "pair_geometry",
+]

@@ -16,23 +16,31 @@ Supports double / single / mixed precision (Sec. V-E Opt-D/S/M): the
 computational batches genuinely run in the compute dtype; accumulation
 (segmented sums, energy) runs in the accumulate dtype.
 
-Staging is step-persistent by default: a
-:class:`~repro.core.tersoff.cache.InteractionCache` keyed on the
-neighbor-list version and the cutoff masks reuses the filtered
-topology, triplet expansion and parameter gathers between neighbor
-rebuilds, recomputing only geometry each call (bit-for-bit identical
-to the cold path; ``cache=False`` restores the old per-call staging
-for ablation).
+The staging/caching machinery is the potential-agnostic
+:mod:`repro.core.pipeline`: :class:`TersoffKernel` declares the typed
+pair table, the inclusive per-type-pair cutoff and the Sec. IV-D
+max-cutoff k-candidate set, and the shared
+:class:`~repro.core.pipeline.cache.InteractionCache` keeps the
+filtered topology, triplet expansion and parameter gathers
+step-persistent between neighbor rebuilds (bit-for-bit identical to
+cold staging; ``cache=False`` runs the same code through an ephemeral
+cache).
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.analysis import hot_path
-from repro.core.tersoff.cache import InteractionCache, Staging, segsum3
+from repro.core.pipeline import (
+    MultiBodyKernel,
+    PairData,
+    PipelinePotential,
+    Staging,
+    build_triplets,
+    idx3_of,
+    segsum3,
+)
 from repro.core.tersoff.functional import (
     b_order,
     b_order_d,
@@ -49,100 +57,67 @@ from repro.core.tersoff.functional import (
 )
 from repro.core.tersoff.kernels import PROD_PAIR_FIELDS, PROD_TRIPLET_FIELDS, gather_flat
 from repro.core.tersoff.parameters import TersoffParams
-from repro.core.tersoff.prepare import build_pairs, build_triplets
-from repro.md.atoms import AtomSystem
-from repro.md.neighbor import NeighborList
-from repro.md.potential import ForceResult, Potential
+from repro.md.potential import ForceResult
 from repro.vector.precision import Precision
 
 
-class TersoffProduction(Potential):
-    """The optimized solver used for real simulations (``Opt`` modes).
+class TersoffKernel(MultiBodyKernel):
+    """The Tersoff computational component on the staged pipeline."""
 
-    Parameters
-    ----------
-    params:
-        Tersoff parameterization.
-    precision:
-        ``"double"`` (Opt-D), ``"single"`` (Opt-S) or ``"mixed"``
-        (Opt-M).
-    cache:
-        Step-persistent interaction cache (default on).  ``False``
-        restores the old stage-everything-per-call behaviour; results
-        are bit-for-bit identical either way.
-    """
+    uses_types = True
+    uses_filter = True
+    cutoff_inclusive = True
+    separate_kcand = True
+    needs_r = True
 
-    needs_full_list = True
-
-    def __init__(
-        self,
-        params: TersoffParams,
-        *,
-        precision: Precision | str = Precision.DOUBLE,
-        cache: bool = True,
-    ):
+    def __init__(self, params: TersoffParams, precision: Precision):
         self.params = params
-        self.precision = Precision.parse(precision)
-        self.cutoff = params.max_cutoff
+        self.precision = precision
         self._flat = params.flat()
         # parameter block views in the compute dtype (cast once)
-        cd = self.precision.compute_dtype
+        cd = precision.compute_dtype
         self._p = {
             name: getattr(self._flat, name).astype(cd)
             for name in ("gamma", "lam3", "c", "d", "h", "n", "beta", "lam2", "B", "R", "D", "lam1", "A", "c1", "c2", "c3", "c4")
         }
         self._p_m = self._flat.m  # integer-ish selector, keep double
         self._nt = self._flat.ntypes
-        self.cache_enabled = bool(cache)
-        self._cache = InteractionCache() if cache else None
+        self.kcand_cutoff = float(np.max(self._flat.cut))
 
-    @property
-    def cache_stats(self):
-        """The cumulative :class:`CacheStats`, or ``None`` when off."""
-        return self._cache.stats if self._cache is not None else None
+    def pair_type_index(self, ti: np.ndarray, tj: np.ndarray) -> np.ndarray:
+        return (ti * self._nt + tj) * self._nt + tj
 
-    def _stage_cold(self, system: AtomSystem, neigh: NeighborList) -> Staging:
-        """The original per-call staging (``cache=False`` ablation path)."""
-        flat = self._flat
-        pairs = build_pairs(system, neigh, flat, cutoff="pair")
-        kcand = build_pairs(system, neigh, flat, cutoff="max")
+    def pair_cutoffs(self, pair_flat: np.ndarray | None) -> np.ndarray:
+        return self._flat.cut[pair_flat]
+
+    def build_staging(self, pairs: PairData, kcand: PairData) -> Staging:
         tri = build_triplets(pairs, kcand)
         tp, tk = tri.tri_pair, tri.tri_k
         tflat = (pairs.ti[tp] * self._nt + pairs.tj[tp]) * self._nt + kcand.tj[tk]
         return Staging(
-            pairs=pairs, kcand=kcand, tri=tri, tflat=tflat,
-            pair_p=gather_flat(self._p, pairs.pair_flat, PROD_PAIR_FIELDS),
-            tri_p=gather_flat(self._p, tflat, PROD_TRIPLET_FIELDS),
-            m_t=self._p_m[tflat],
-            idx3={},
+            pairs=pairs,
+            kcand=kcand,
+            tri=tri,
+            idx3={
+                "pair_i": idx3_of(pairs.i_idx),
+                "pair_j": idx3_of(pairs.j_idx),
+                "tri_i": idx3_of(pairs.i_idx[tp]),
+                "tri_j": idx3_of(pairs.j_idx[tp]),
+                "tri_k": idx3_of(kcand.j_idx[tk]),
+            },
+            gathers={
+                "pair_p": gather_flat(self._p, pairs.pair_flat, PROD_PAIR_FIELDS),
+                "tri_p": gather_flat(self._p, tflat, PROD_TRIPLET_FIELDS),
+                "m_t": self._p_m[tflat],
+            },
         )
 
-    @hot_path(reason="per-step entry point; all allocations belong to the cache Workspace")
-    def compute(self, system: AtomSystem, neigh: NeighborList) -> ForceResult:
-        self.check_list(neigh)
-        if system.species != self.params.species:
-            raise ValueError("system species do not match parameterization")
-        t0 = time.perf_counter()
-        if self._cache is not None:
-            st = self._cache.prepare(system, neigh, self._flat, self._p, self._p_m)
-            cache_info = {"enabled": True, "list_version": neigh.version,
-                          **self._cache.stats.as_dict()}
-        else:
-            st = self._stage_cold(system, neigh)
-            cache_info = {"enabled": False}
-        t1 = time.perf_counter()
-        result = self._evaluate(st, system.n)
-        t2 = time.perf_counter()
-        result.stats["cache"] = cache_info
-        result.stats["timing"] = {"staging_s": t1 - t0, "kernel_s": t2 - t1}
-        return result
-
     @hot_path(reason="computational part of every force call (paper Alg. 3)")
-    def _evaluate(self, st: Staging, n: int) -> ForceResult:
+    def evaluate(self, st: Staging, n: int) -> ForceResult:
         cd = self.precision.compute_dtype
         ad = self.precision.accum_dtype
         pairs, kcand, tri = st.pairs, st.kcand, st.tri
-        pp, tpars = st.pair_p, st.tri_p
+        pp, tpars = st.gathers["pair_p"], st.gathers["tri_p"]
         idx3 = st.idx3
 
         P = pairs.n_pairs
@@ -152,7 +127,8 @@ class TersoffProduction(Potential):
                                virial=0.0,
                                stats={"pairs_in_cutoff": 0, "triples": 0,
                                       "filter_efficiency": pairs.filter_efficiency,
-                                      "virial_tensor": np.zeros((3, 3), dtype=np.float64)})  # repro-lint: disable=KA003
+                                      "virial_tensor": np.zeros((3, 3), dtype=np.float64),  # repro-lint: disable=KA003
+                                      "per_atom_energy": np.zeros(n, dtype=np.float64)})  # repro-lint: disable=KA003
         T = tri.n_triplets
 
         # compute-dtype views of the geometry
@@ -174,8 +150,8 @@ class TersoffProduction(Potential):
             fc_d_ik = f_c_d(r_ik, R_t, D_t)
             g_t = g_angle(cos_t, tpars["gamma"], tpars["c"], tpars["d"], tpars["h"])
             g_d_t = g_angle_d(cos_t, tpars["gamma"], tpars["c"], tpars["d"], tpars["h"])
-            ex_t = zeta_exp(rij_t, r_ik, tpars["lam3"], st.m_t)
-            ex_ld_t = zeta_exp_d_over(rij_t, r_ik, tpars["lam3"], st.m_t)
+            ex_t = zeta_exp(rij_t, r_ik, tpars["lam3"], st.gathers["m_t"])
+            ex_ld_t = zeta_exp_d_over(rij_t, r_ik, tpars["lam3"], st.gathers["m_t"])
             zeta_contrib = fc_ik * g_t * ex_t
             zeta = np.bincount(tp, weights=zeta_contrib.astype(np.float64, copy=False),
                                minlength=P).astype(cd)
@@ -249,3 +225,38 @@ class TersoffProduction(Potential):
         # the float64 re-cast is the ForceResult ABI, not a promotion leak
         forces = forces64.astype(ad).astype(np.float64)  # repro-lint: disable=KA002
         return ForceResult(energy=energy, forces=forces, virial=virial, stats=stats)
+
+
+class TersoffProduction(PipelinePotential):
+    """The optimized solver used for real simulations (``Opt`` modes).
+
+    Parameters
+    ----------
+    params:
+        Tersoff parameterization.
+    precision:
+        ``"double"`` (Opt-D), ``"single"`` (Opt-S) or ``"mixed"``
+        (Opt-M).
+    cache:
+        Step-persistent interaction cache (default on).  ``False``
+        stages through an ephemeral cache per call; results are
+        bit-for-bit identical either way.
+    """
+
+    needs_full_list = True
+
+    def __init__(
+        self,
+        params: TersoffParams,
+        *,
+        precision: Precision | str = Precision.DOUBLE,
+        cache: bool = True,
+    ):
+        self.params = params
+        self.precision = Precision.parse(precision)
+        self.cutoff = params.max_cutoff
+        super().__init__(TersoffKernel(params, self.precision), cache=cache)
+
+    def validate(self, system) -> None:
+        if system.species != self.params.species:
+            raise ValueError("system species do not match parameterization")

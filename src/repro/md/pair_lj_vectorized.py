@@ -8,17 +8,28 @@ that on the lane backend so the repository can *measure* the contrast
 the paper draws in Sec. I-III: compare its utilization/cycle statistics
 with :class:`~repro.core.tersoff.vectorized.TersoffVectorized` on the
 same workload (see ``benchmarks/bench_multibody_family.py``).
+
+The potential runs on the staged pipeline as an *unfiltered* kernel
+(``uses_filter=False``): pair potentials traditionally do not
+pre-filter — the cutoff mask is cheap and lists are long — so the
+skin mask runs in-register and only the lane *layout* (a pure function
+of the list topology) is cached across steps.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import hot_path
+from repro.core.pipeline import (
+    MultiBodyKernel,
+    PairData,
+    PipelinePotential,
+    Staging,
+    group_by_i,
+)
 from repro.core.tersoff.kernels import charge
-from repro.core.tersoff.prepare import group_by_i
-from repro.md.atoms import AtomSystem
-from repro.md.neighbor import NeighborList
-from repro.md.potential import ForceResult, Potential
+from repro.md.potential import ForceResult
 from repro.vector.backend import VectorBackend, scatter_add_rows
 from repro.vector.isa import ISA, get_isa
 from repro.vector.precision import Precision
@@ -27,13 +38,19 @@ from repro.vector.precision import Precision
 RECIPE_LJ = {"arith": 11, "divide": 1, "blend": 1}
 
 
-class LennardJonesVectorized(Potential):
+class LJLaneKernel(MultiBodyKernel):
     """Cut/shifted 12-6 LJ via scheme (1a) on a simulated vector ISA.
 
     Single-type only (the contrast experiment does not need mixing).
+    The staging layer hands over the full skin-extended list with
+    *squared* distances (``needs_r=False``: no square root anywhere in
+    a 12-6 kernel); :meth:`build_staging` folds it into the
+    rows-by-lanes layout once per list rebuild.
     """
 
-    needs_full_list = True
+    uses_types = False
+    uses_filter = False
+    needs_r = False
 
     def __init__(
         self,
@@ -45,8 +62,6 @@ class LennardJonesVectorized(Potential):
         isa: ISA | str = "avx2",
         precision: Precision | str = Precision.DOUBLE,
     ):
-        if cutoff <= 0:
-            raise ValueError("cutoff must be positive")
         self.epsilon = float(epsilon)
         self.sigma = float(sigma)
         self.cutoff = float(cutoff)
@@ -57,38 +72,59 @@ class LennardJonesVectorized(Potential):
         sr6 = (self.sigma / self.cutoff) ** 6
         self._e_cut = 4.0 * self.epsilon * (sr6 * sr6 - sr6) if shift else 0.0
 
-    def compute(self, system: AtomSystem, neigh: NeighborList) -> ForceResult:
-        self.check_list(neigh)
-        bk = self.backend
-        bk.reset_counter()
-        cd = bk.compute_dtype
-        W = bk.width
-        n = system.n
+    def pair_cutoffs(self, pair_flat: np.ndarray | None) -> float:
+        return self.cutoff
 
-        i_idx, j_idx = neigh.pairs()
-        d = system.box.minimum_image(system.x[j_idx] - system.x[i_idx])
-        r2_all = np.einsum("ij,ij->i", d, d)
-
-        # scheme (1a): rows = atoms (blocks), lanes = their list entries;
-        # pair potentials traditionally do NOT pre-filter (the mask is
-        # cheap and lists are long), so the skin mask runs in-register.
-        starts, counts = group_by_i(i_idx, n)
+    def build_staging(self, pairs: PairData, kcand: PairData) -> Staging:
+        # scheme (1a): rows = atoms (blocks), lanes = their list entries.
+        # Purely topological, so the cache reuses it for every call at
+        # an unchanged list version.
+        n = pairs.n_atoms
+        W = self.backend.width
+        starts, counts = group_by_i(pairs.i_idx, n)
         nblocks = (counts + W - 1) // W
         row_atom = np.repeat(np.arange(n, dtype=np.int64), nblocks)
         C = row_atom.shape[0]
-        forces = np.zeros((n, 3), dtype=np.float64)
         if C == 0:
-            return ForceResult(energy=0.0, forces=forces, virial=0.0, stats=self._stats(bk, 0))
-        row_first = np.concatenate(([0], np.cumsum(nblocks)[:-1]))
-        block_in_atom = np.arange(C, dtype=np.int64) - np.repeat(row_first, nblocks)
-        lane = np.arange(W, dtype=np.int64)[None, :]
-        slot = starts[row_atom][:, None] + block_in_atom[:, None] * W + lane
-        valid = slot < (starts[row_atom] + counts[row_atom])[:, None]
-        idx = np.where(valid, slot, 0)
+            valid = np.zeros((0, W), dtype=bool)
+            idx = np.zeros((0, W), dtype=np.int64)
+        else:
+            row_first = np.concatenate(([0], np.cumsum(nblocks)[:-1]))
+            block_in_atom = np.arange(C, dtype=np.int64) - np.repeat(row_first, nblocks)
+            lane = np.arange(W, dtype=np.int64)[None, :]
+            slot = starts[row_atom][:, None] + block_in_atom[:, None] * W + lane
+            valid = slot < (starts[row_atom] + counts[row_atom])[:, None]
+            idx = np.where(valid, slot, 0)
+        return Staging(
+            pairs=pairs,
+            kcand=kcand,
+            gathers={"row_atom": row_atom, "valid": valid, "idx": idx},
+        )
+
+    @hot_path(reason="computational part of every vectorized-LJ force call")
+    def evaluate(self, st: Staging, n: int) -> ForceResult:
+        bk = self.backend
+        bk.reset_counter()
+        cd = bk.compute_dtype
+        row_atom = st.gathers["row_atom"]
+        C = row_atom.shape[0]
+        # force accumulator must start zeroed; Workspace.buf hands back
+        # uninitialized capacity, so a fresh allocation is the honest cost
+        forces = np.zeros((n, 3), dtype=np.float64)  # repro-lint: disable=KA003
+        if C == 0:
+            stats = self._stats(bk, 0)
+            stats["list_entries"] = st.pairs.n_list_entries
+            stats["virial_tensor"] = np.zeros((3, 3), dtype=np.float64)  # repro-lint: disable=KA003
+            stats["per_atom_energy"] = np.zeros(n, dtype=np.float64)  # repro-lint: disable=KA003
+            return ForceResult(energy=0.0, forces=forces, virial=0.0, stats=stats)
+        valid = st.gathers["valid"]
+        idx = st.gathers["idx"]
+        d = st.pairs.d
+        r2_all = st.pairs.r  # squared distances (needs_r=False)
 
         r2 = np.where(valid, r2_all[idx], 1.0e30).astype(cd)
         within = bk.cmp_le(r2, self.cutoff * self.cutoff)
-        mask = valid & np.asarray(within)
+        mask = np.logical_and(valid, within)
 
         with np.errstate(over="ignore", divide="ignore", invalid="ignore"):
             inv_r2 = 1.0 / r2
@@ -102,7 +138,8 @@ class LennardJonesVectorized(Potential):
 
         e_pair = np.where(mask, e_pair, 0.0)
         f_over_r = np.where(mask, f_over_r, 0.0).astype(np.float64)
-        energy = 0.5 * float(np.sum(bk.reduce_add(e_pair.astype(cd), mask)))
+        e_rows = bk.reduce_add(e_pair.astype(cd), mask)
+        energy = 0.5 * float(np.sum(e_rows))
 
         dvec = np.where(valid[..., None], d[idx], 0.0)
         fvec = f_over_r[..., None] * dvec
@@ -110,14 +147,23 @@ class LennardJonesVectorized(Potential):
         # pair updates only its center atom i — an in-register reduction
         # and one scalar store, with no scatter at all.  This is why the
         # paper calls pair potentials the *easy* case.
-        fi_rows = np.zeros((C, 3), dtype=np.float64)
+        fi_rows = np.zeros((C, 3), dtype=np.float64)  # repro-lint: disable=KA003
         for axis in range(3):
             fi_rows[:, axis] = bk.reduce_add(fvec[..., axis].astype(cd), mask)
         scatter_add_rows(forces, row_atom, -fi_rows)
         bk.counter.record("store", C, bk.isa.costs.store)
 
         virial = 0.5 * float(np.sum(f_over_r * np.einsum("...i,...i->...", dvec, dvec)))
-        return ForceResult(energy=energy, forces=forces, virial=virial, stats=self._stats(bk, int(np.count_nonzero(mask))))
+        stats = self._stats(bk, int(np.count_nonzero(mask)))
+        stats["list_entries"] = st.pairs.n_list_entries
+        # full virial tensor: each ordered pair contributes d ⊗ f, halved
+        # for the double count; symmetrize to kill summation-order skew
+        stress = 0.5 * np.einsum("cwa,cwb->ab", dvec, fvec)
+        stats["virial_tensor"] = 0.5 * (stress + stress.T)
+        stats["per_atom_energy"] = 0.5 * np.bincount(
+            row_atom, weights=e_rows.astype(np.float64), minlength=n
+        )
+        return ForceResult(energy=energy, forces=forces, virial=virial, stats=stats)
 
     def _stats(self, bk: VectorBackend, n_pairs: int) -> dict:
         st = bk.stats()
@@ -134,3 +180,41 @@ class LennardJonesVectorized(Potential):
             "by_category": dict(st.by_category),
             "kernel_stats": st,
         }
+
+
+class LennardJonesVectorized(PipelinePotential):
+    """Cut/shifted 12-6 LJ via scheme (1a) on a simulated vector ISA.
+
+    Single-type only (the contrast experiment does not need mixing).
+    Runs on the staged pipeline, so it shares the step-persistent
+    interaction cache and workspace reuse with the multi-body
+    potentials; being unfiltered, every force call at an unchanged list
+    version is a cache hit.
+    """
+
+    needs_full_list = True
+
+    def __init__(
+        self,
+        epsilon: float,
+        sigma: float,
+        cutoff: float,
+        *,
+        shift: bool = True,
+        isa: ISA | str = "avx2",
+        precision: Precision | str = Precision.DOUBLE,
+        cache: bool = True,
+    ):
+        if cutoff <= 0:
+            raise ValueError("cutoff must be positive")
+        kernel = LJLaneKernel(
+            epsilon, sigma, cutoff, shift=shift, isa=isa, precision=precision
+        )
+        self.epsilon = kernel.epsilon
+        self.sigma = kernel.sigma
+        self.cutoff = kernel.cutoff
+        self.shift = kernel.shift
+        self.isa = kernel.isa
+        self.precision = kernel.precision
+        self.backend = kernel.backend
+        super().__init__(kernel, cache=cache)

@@ -41,8 +41,43 @@ class ForceResult:
     stats: dict = field(default_factory=dict)
 
 
+#: ``ForceResult.stats`` keys every production (staged-pipeline)
+#: potential must provide; see :class:`Potential`.
+STATS_CONTRACT = (
+    "pairs_in_cutoff",
+    "virial_tensor",
+    "per_atom_energy",
+    "timing",
+    "cache",
+)
+
+
 class Potential:
-    """Base class: energy/forces from positions and a neighbor list."""
+    """Base class: energy/forces from positions and a neighbor list.
+
+    Production implementations (everything running on
+    :class:`~repro.core.pipeline.PipelinePotential`) additionally
+    guarantee the :data:`STATS_CONTRACT` keys in
+    ``ForceResult.stats``:
+
+    ``pairs_in_cutoff``
+        Number of interactions inside the force cutoff (int).
+    ``virial_tensor``
+        Symmetric ``(3, 3)`` float64 virial tensor whose trace matches
+        the scalar ``virial``.
+    ``per_atom_energy``
+        ``(n,)`` float64 decomposition summing to ``energy``.
+    ``timing``
+        ``{"staging_s": ..., "kernel_s": ...}`` — the filter/compute
+        split of the call's wall time.
+    ``cache``
+        ``{"enabled": False}`` or the interaction-cache counters plus
+        ``list_version`` (see
+        :class:`~repro.core.pipeline.InteractionCache`).
+
+    Reference and lane-simulator implementations are exempt (their
+    stats carry instruction counts instead).
+    """
 
     #: Force cutoff in Angstrom; the neighbor list must be built with at
     #: least this cutoff (plus skin).

@@ -55,7 +55,7 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.analysis import hot_path
-from repro.core.tersoff.cache import Workspace
+from repro.core.pipeline import Workspace
 from repro.md.atoms import AtomSystem
 from repro.md.box import Box
 from repro.md.neighbor import NeighborList, NeighborSettings

@@ -232,6 +232,27 @@ _kernel_case("kernel/production-512-cache-off", lambda p: _prod(p, cache=False),
              tier="warn")
 
 
+# The pipeline's pair-potential contrast case: vectorized LJ on its own
+# longer-cutoff list, step-persistent lane layout enabled (unfiltered
+# kernels hit the cache on every same-version call).
+def _lj_kernel_case() -> None:
+    def setup() -> Callable[[], Any]:
+        from repro.md.lattice import diamond_lattice, perturbed
+        from repro.md.neighbor import NeighborList, NeighborSettings
+        from repro.md.pair_lj_vectorized import LennardJonesVectorized
+
+        system = perturbed(diamond_lattice(4, 4, 4), 0.1, seed=1)
+        neigh = NeighborList(NeighborSettings(cutoff=4.2, skin=1.0, full=True))
+        neigh.build(system.x, system.box)
+        pot = LennardJonesVectorized(0.07, 2.0951, 4.2, cache=True)
+        return lambda: pot.compute(system, neigh)
+
+    register(BenchCase(name="kernel/lj-cached", setup=setup))
+
+
+_lj_kernel_case()
+
+
 # Fused segmented sum (one bincount over idx*3+axis) vs the old
 # three-pass per-axis loop, on a triplet-sized workload.  Warn tier,
 # non-smoke: a micro-benchmark for the kernel ladder, not a CI gate.
@@ -240,7 +261,7 @@ def _segsum_case(variant: str) -> None:
     def setup() -> Callable[[], Any]:
         import numpy as np
 
-        from repro.core.tersoff.cache import idx3_of, segsum3, segsum3_loop
+        from repro.core.pipeline import idx3_of, segsum3, segsum3_loop
 
         rng = np.random.default_rng(7)
         t, n = 200_000, 4096
@@ -317,6 +338,38 @@ register(BenchCase(
 register(BenchCase(
     name="md/step-512-cache-off",
     setup=lambda: _md_step_setup(cache=False),
+    tier="warn",
+    extra=_md_step_extra,
+))
+
+
+# The same ablation for the pipeline's second multi-body kernel: one SW
+# timestep with the shared interaction cache on vs off.
+def _md_step_sw_setup(cache: bool = True) -> Callable[[], Any]:
+    from repro.core.sw import StillingerWeberProduction, sw_silicon
+    from repro.md.lattice import seeded_velocities
+    from repro.md.neighbor import NeighborSettings
+    from repro.md.simulation import Simulation
+
+    _, system, _ = si_workload(4)
+    params = sw_silicon()
+    sys2 = system.copy()
+    seeded_velocities(sys2, 300.0, seed=3)
+    sim = Simulation(sys2, StillingerWeberProduction(params, cache=cache),
+                     neighbor=NeighborSettings(cutoff=params.cut, skin=1.0))
+    sim.compute_forces()
+    return lambda: (sim.run(1), sim)[1]
+
+
+register(BenchCase(
+    name="md/step-512-sw-cache-on",
+    setup=_md_step_sw_setup,
+    extra=_md_step_extra,
+))
+
+register(BenchCase(
+    name="md/step-512-sw-cache-off",
+    setup=lambda: _md_step_sw_setup(cache=False),
     tier="warn",
     extra=_md_step_extra,
 ))

@@ -463,11 +463,16 @@ class TestHotPathMarker:
         assert g.__repro_hot_path_reason__ == "test"
 
     def test_production_entry_points_registered(self):
+        import repro.core.sw.production  # noqa: F401  (side effect: registration)
         import repro.core.tersoff.production  # noqa: F401  (side effect: registration)
+        import repro.md.pair_lj_vectorized  # noqa: F401  (side effect: registration)
 
         names = set(HOT_PATH_REGISTRY)
-        assert any(n.endswith("TersoffProduction.compute") for n in names)
-        assert any(n.endswith("TersoffProduction._evaluate") for n in names)
+        assert any(n.endswith("PipelinePotential.compute") for n in names)
+        assert any(n.endswith("StagedPipeline.run") for n in names)
+        assert any(n.endswith("TersoffKernel.evaluate") for n in names)
+        assert any(n.endswith("SWKernel.evaluate") for n in names)
+        assert any(n.endswith("LJLaneKernel.evaluate") for n in names)
         assert any(n.endswith("InteractionCache.prepare") for n in names)
         assert any(n.endswith("segsum3") for n in names)
 

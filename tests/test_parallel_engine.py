@@ -15,8 +15,10 @@ import numpy as np
 import pytest
 from multiprocessing import shared_memory
 
+from repro.core.sw import StillingerWeberProduction, sw_silicon
 from repro.core.tersoff.parameters import tersoff_si, tersoff_sic
 from repro.core.tersoff.production import TersoffProduction
+from repro.md.pair_lj_vectorized import LennardJonesVectorized
 from repro.md.lattice import diamond_lattice, perturbed, seeded_velocities, zincblende_sic
 from repro.md.neighbor import NeighborSettings
 from repro.md.potential import Potential
@@ -89,6 +91,35 @@ class TestBitwiseEquivalence:
     def test_sic_multispecies(self, workers):
         system = perturbed(zincblende_sic(2, 2, 2), 0.10, seed=17)
         pot = TersoffProduction(tersoff_sic(), precision="double", cache=True)
+        xs = drift_sequence(system)
+        ref = sequential_reference(system, pot, xs, ranks=4)
+        with ParallelEngine(system, pot, workers=workers, ranks=4) as eng:
+            for x, (e_ref, f_ref) in zip(xs, ref):
+                step = eng.compute(x)
+                assert step.energy == e_ref
+                assert np.array_equal(step.forces, f_ref)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_sw_bitwise(self, workers):
+        """The pipeline's other multi-body kernel runs through the
+        engine unchanged: SW forces are bitwise those of the
+        sequential rank-by-rank evaluation."""
+        system = si_system()
+        pot = StillingerWeberProduction(sw_silicon(), precision="mixed", cache=True)
+        xs = drift_sequence(system)
+        ref = sequential_reference(system, pot, xs, ranks=4)
+        with ParallelEngine(system, pot, workers=workers, ranks=4) as eng:
+            for x, (e_ref, f_ref) in zip(xs, ref):
+                step = eng.compute(x)
+                assert step.energy == e_ref
+                assert np.array_equal(step.forces, f_ref)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_lj_bitwise(self, workers):
+        """Scheme-(1a) unfiltered kernels (vectorized LJ) also
+        decompose bitwise."""
+        system = si_system()
+        pot = LennardJonesVectorized(0.07, 2.0951, 4.2, cache=True)
         xs = drift_sequence(system)
         ref = sequential_reference(system, pot, xs, ranks=4)
         with ParallelEngine(system, pot, workers=workers, ranks=4) as eng:
