@@ -14,6 +14,8 @@ Commands
     The wall-clock regression harness: run / baseline / compare / list.
 ``lint``
     The kernel-contract static analyzer (rules KA001-KA005).
+``telemetry``
+    Aggregate the JSON-lines telemetry of ``run --telemetry``.
 """
 
 from __future__ import annotations
@@ -49,64 +51,170 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _build_run_potential(potential: str, mode: str, cache: bool):
+    """Construct the ``repro run`` potential; returns ``(pot, cutoff)``."""
     from repro.core.schemes import make_solver, mode_precision
     from repro.core.sw import StillingerWeberProduction, StillingerWeberReference, sw_silicon
+    from repro.core.tersoff.parameters import tersoff_si
+
+    if potential == "sw":
+        params = sw_silicon()
+        if mode == "Ref":
+            return StillingerWeberReference(params), params.cut
+        return StillingerWeberProduction(
+            params, precision=mode_precision(mode), cache=cache
+        ), params.cut
+    params = tersoff_si()
+    return make_solver(params, mode, cache=cache), params.max_cutoff
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
     from repro.md.lattice import cells_for_atoms, diamond_lattice, seeded_velocities
     from repro.md.neighbor import NeighborSettings
     from repro.md.simulation import Simulation
     from repro.md.thermo import ThermoSample
-    from repro.core.tersoff.parameters import tersoff_si
+    from repro.state import CheckpointError, load_checkpoint, restore_simulation
 
-    cells = cells_for_atoms(args.atoms)
-    system = diamond_lattice(*cells)
-    seeded_velocities(system, args.temperature, seed=args.seed)
-    if args.potential == "sw":
-        params = sw_silicon()
-        if args.mode == "Ref":
-            pot = StillingerWeberReference(params)
-        else:
-            pot = StillingerWeberProduction(
-                params, precision=mode_precision(args.mode), cache=not args.no_cache
-            )
-        cutoff = params.cut
+    if args.restart_from:
+        # the checkpoint pins the physics configuration; CLI potential
+        # flags are ignored in favour of what the original run stored
+        try:
+            ck = load_checkpoint(args.restart_from)
+        except (OSError, ValueError) as exc:
+            print(f"restart: cannot load checkpoint: {exc}", file=sys.stderr)
+            return 2
+        config = ck.user_meta.get("run_config", {})
+        potential_name = config.get("potential", args.potential)
+        mode = config.get("mode", args.mode)
+        cache = config.get("cache", not args.no_cache)
+        pot, _ = _build_run_potential(potential_name, mode, cache)
+        if args.sanitize:
+            from repro.analysis.sanitize import SanitizedPotential
+
+            pot = SanitizedPotential(pot)
+            print("sanitize: FP faults raise, force results NaN-guarded (debug mode)")
+        try:
+            sim = restore_simulation(ck, pot, workers=args.workers)
+        except CheckpointError as exc:
+            print(f"restart: {exc}", file=sys.stderr)
+            return 2
+        print(f"restarted from {args.restart_from} at step {sim.step_index} "
+              f"({sim.system.n} atoms, {potential_name} ({mode}))")
     else:
-        params = tersoff_si()
-        pot = make_solver(params, args.mode, cache=not args.no_cache)
-        cutoff = params.max_cutoff
-    if args.sanitize:
-        from repro.analysis.sanitize import SanitizedPotential
+        potential_name, mode, cache = args.potential, args.mode, not args.no_cache
+        cells = cells_for_atoms(args.atoms)
+        system = diamond_lattice(*cells)
+        seeded_velocities(system, args.temperature, seed=args.seed)
+        pot, cutoff = _build_run_potential(potential_name, mode, cache)
+        if args.sanitize:
+            from repro.analysis.sanitize import SanitizedPotential
 
-        pot = SanitizedPotential(pot)
-        print("sanitize: FP faults raise, force results NaN-guarded (debug mode)")
-    sim = Simulation(
-        system, pot,
-        neighbor=NeighborSettings(cutoff=cutoff, skin=args.skin),
-        workers=args.workers, ranks=args.ranks, sort=args.sort_domains,
-    )
+            pot = SanitizedPotential(pot)
+            print("sanitize: FP faults raise, force results NaN-guarded (debug mode)")
+        sim = Simulation(
+            system, pot,
+            neighbor=NeighborSettings(cutoff=cutoff, skin=args.skin),
+            workers=args.workers, ranks=args.ranks, sort=args.sort_domains,
+        )
+    run_config = {"potential": potential_name, "mode": mode, "cache": cache}
+    callbacks, sinks = _run_sinks(args, run_config, resume_step=sim.step_index)
+
     par = ""
-    if args.workers is not None:
-        par = f", {args.workers} workers x {sim.engine.ranks} ranks"
-    print(f"{system.n} Si atoms, {args.potential} ({args.mode}), "
+    if sim.engine is not None:
+        par = f", {sim.engine.workers} workers x {sim.engine.ranks} ranks"
+    print(f"{sim.system.n} Si atoms, {potential_name} ({mode}), "
           f"{args.steps} steps at {args.temperature:.0f} K{par}")
     print(ThermoSample.format_header())
-    result = sim.run(args.steps, thermo_every=max(args.steps // 10, 1))
+    result = sim.run(args.steps, thermo_every=max(args.steps // 10, 1), callback=callbacks)
     for t in result.thermo:
         print(t.format_row())
     print(f"\n{result.timers.breakdown()}")
     print(f"throughput: {result.ns_per_day(sim.dt):.3f} ns/day "
           f"({result.neighbor_builds} neighbor rebuilds)")
-    cache = (sim.last_result.stats.get("cache", {}) if sim.last_result else {})
-    if cache.get("enabled"):
-        print(f"interaction cache: {cache['hits']} hits, {cache['misses']} misses, "
-              f"{cache['invalidations']} invalidations (list v{cache['list_version']})")
+    cache_info = (sim.last_result.stats.get("cache", {}) if sim.last_result else {})
+    if cache_info.get("enabled"):
+        print(f"interaction cache: {cache_info['hits']} hits, {cache_info['misses']} misses, "
+              f"{cache_info['invalidations']} invalidations (list v{cache_info['list_version']})")
     summary = sim.workload_summary()
     if summary is not None:
         print(f"parallel: grid {summary['grid']}, "
               f"imbalance {summary.get('imbalance_measured', summary['imbalance']):.2f}, "
               f"efficiency {summary.get('parallel_efficiency', 0.0):.2f}, "
               f"{summary['generations']} decompositions over {summary['steps']} steps")
+    for line in _sink_report(sinks):
+        print(line)
+    for sink in sinks:
+        close = getattr(sink, "close", None)
+        if close is not None:
+            close()
     sim.close()
+    return 0
+
+
+def _run_sinks(
+    args: argparse.Namespace, run_config: dict, *, resume_step: int = 0
+) -> tuple[list, list]:
+    """Build the durability callbacks for ``repro run``."""
+    from repro.state import BinaryTrajectory, Checkpointer, TelemetrySink
+
+    resuming = bool(args.restart_from)
+    callbacks: list = []
+    sinks: list = []
+    if args.traj:
+        # on resume, frames streamed past the checkpoint are rewound so
+        # the appended run continues in strict step order
+        traj = BinaryTrajectory(
+            args.traj, every=args.traj_every, append=resuming,
+            resume_step=resume_step if resuming else None,
+        )
+        callbacks.append(traj)
+        sinks.append(traj)
+    if args.telemetry:
+        telem = TelemetrySink(
+            args.telemetry, every=args.telemetry_every, append=resuming,
+            meta=run_config,
+        )
+        callbacks.append(telem)
+        sinks.append(telem)
+    if args.checkpoint_every or args.checkpoint:
+        every = args.checkpoint_every or max(args.steps, 1)
+        ckpt = Checkpointer(
+            args.checkpoint or "run.ckpt", every=every,
+            user_meta={"run_config": run_config},
+        )
+        callbacks.append(ckpt)
+        sinks.append(ckpt)
+    return callbacks, sinks
+
+
+def _sink_report(sinks: list) -> list[str]:
+    lines = []
+    for sink in sinks:
+        name = type(sink).__name__
+        if name == "BinaryTrajectory":
+            lines.append(f"trajectory: {sink.frames_written} frames -> {sink.path}")
+        elif name == "TelemetrySink":
+            lines.append(f"telemetry: {sink.records_written} records -> {sink.path}")
+        elif name == "Checkpointer":
+            lines.append(f"checkpoint: {sink.checkpoints_written} writes -> {sink.path} "
+                         f"(last at step {sink.last_step_written})")
+    return lines
+
+
+def _cmd_telemetry_summarize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.state.telemetry import render_telemetry_summary, summarize_telemetry
+
+    try:
+        summary = summarize_telemetry(args.file)
+    except OSError as exc:
+        print(f"telemetry summarize: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(render_telemetry_summary(summary))
     return 0
 
 
@@ -301,6 +409,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="Morton-order rank-local atoms (locality optimization)")
     p_run.add_argument("--sanitize", action="store_true",
                        help="debug: raise on FP faults and NaN-guard every force result")
+    p_run.add_argument("--checkpoint", default=None, metavar="PATH",
+                       help="checkpoint file (default run.ckpt when --checkpoint-every is set)")
+    p_run.add_argument("--checkpoint-every", type=int, default=None, metavar="N",
+                       help="write a bitwise-resumable checkpoint every N steps "
+                            "(plus once at run end)")
+    p_run.add_argument("--restart-from", default=None, metavar="PATH",
+                       help="resume from a checkpoint (bitwise-identical to the "
+                            "uninterrupted run); potential config comes from the checkpoint")
+    p_run.add_argument("--telemetry", default=None, metavar="PATH",
+                       help="write per-step JSON-lines telemetry "
+                            "(see 'repro telemetry summarize')")
+    p_run.add_argument("--telemetry-every", type=int, default=1, metavar="N",
+                       help="telemetry record stride (default 1)")
+    p_run.add_argument("--traj", default=None, metavar="PATH",
+                       help="stream an append-safe binary trajectory (.rtrj)")
+    p_run.add_argument("--traj-every", type=int, default=10, metavar="N",
+                       help="trajectory frame stride (default 10)")
     p_run.set_defaults(func=_cmd_run)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper artifact")
@@ -373,6 +498,13 @@ def build_parser() -> argparse.ArgumentParser:
     pb_list.add_argument("--smoke", action="store_true")
     pb_list.add_argument("--filter", default=None)
     pb_list.set_defaults(func=_cmd_bench_list)
+
+    p_tel = sub.add_parser("telemetry", help="inspect structured run telemetry")
+    tel_sub = p_tel.add_subparsers(dest="telemetry_command", required=True)
+    pt_sum = tel_sub.add_parser("summarize", help="aggregate a telemetry JSONL stream")
+    pt_sum.add_argument("file", help="telemetry JSONL file written by repro run --telemetry")
+    pt_sum.add_argument("--json", action="store_true", help="emit the summary as JSON")
+    pt_sum.set_defaults(func=_cmd_telemetry_summarize)
 
     from repro.analysis.cli import add_lint_parser
 

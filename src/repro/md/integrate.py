@@ -63,6 +63,22 @@ class Langevin:
         self.dt = float(dt)
         self.rng = np.random.default_rng(seed)
 
+    def state_dict(self) -> dict:
+        """Checkpointable state, including the exact RNG stream position."""
+        return {
+            "kind": "langevin",
+            "temperature": self.temperature,
+            "damping": self.damping,
+            "dt": self.dt,
+            "rng": self.rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Langevin":
+        obj = cls(state["temperature"], state["damping"], state["dt"])
+        obj.rng.bit_generator.state = state["rng"]
+        return obj
+
     def apply(self, system: AtomSystem) -> None:
         """Add friction + random forces to ``system.f`` in place."""
         m = system.per_atom_mass()[:, None]
@@ -90,6 +106,21 @@ class NoseHoover:
         self.damping = float(damping)
         self.dt = float(dt)
         self.xi = 0.0  # thermostat velocity (1/ps)
+
+    def state_dict(self) -> dict:
+        return {
+            "kind": "nose_hoover",
+            "temperature": self.temperature,
+            "damping": self.damping,
+            "dt": self.dt,
+            "xi": self.xi,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NoseHoover":
+        obj = cls(state["temperature"], state["damping"], state["dt"])
+        obj.xi = float(state["xi"])
+        return obj
 
     def half_step(self, system: AtomSystem) -> None:
         """Advance xi half a step and rescale velocities.
@@ -127,6 +158,13 @@ class VelocityRescale:
             raise ValueError("rescale interval must be >= 1")
         self.temperature = float(temperature)
         self.every = int(every)
+
+    def state_dict(self) -> dict:
+        return {"kind": "velocity_rescale", "temperature": self.temperature, "every": self.every}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "VelocityRescale":
+        return cls(state["temperature"], state["every"])
 
     def maybe_rescale(self, system: AtomSystem, step: int) -> None:
         if step % self.every:

@@ -232,6 +232,32 @@ class NeighborList:
             return True
         return False
 
+    def get_state(self) -> dict:
+        """Snapshot the list for a checkpoint.
+
+        Captures the CSR arrays, the rebuild counters and — crucially
+        for bitwise restart — the reference positions of the last
+        build, so a restored list makes the *same* rebuild decisions at
+        the same steps as the uninterrupted run would have.
+        """
+        return {
+            "neighbors": self.neighbors.copy(),
+            "offsets": self.offsets.copy(),
+            "n_builds": self.n_builds,
+            "version": self.version,
+            "x_ref": None if self._x_ref is None else self._x_ref.copy(),
+        }
+
+    def set_state(self, state: dict, box: Box | None) -> None:
+        """Restore a :meth:`get_state` snapshot (inverse operation)."""
+        self.neighbors = np.ascontiguousarray(state["neighbors"], dtype=np.int32)
+        self.offsets = np.ascontiguousarray(state["offsets"], dtype=np.int64)
+        self.n_builds = int(state["n_builds"])
+        self.version = int(state["version"])
+        x_ref = state.get("x_ref")
+        self._x_ref = None if x_ref is None else np.ascontiguousarray(x_ref, dtype=np.float64)
+        self._box = box if self._x_ref is not None else None
+
     def neighbors_of(self, i: int) -> np.ndarray:
         """Neighbor indices of atom `i` (view into the flat array)."""
         return self.neighbors[self.offsets[i] : self.offsets[i + 1]]

@@ -275,10 +275,22 @@ class Simulation:
             Collect a :class:`ThermoSample` every this many steps
             (0 = only at start/end).
         callback:
-            Optional ``callback(sim, step)`` invoked after each step.
+            Optional ``callback(sim, step)`` invoked after each step,
+            or a list/tuple of such callables (trajectory writers,
+            telemetry sinks and checkpointers compose).  After the last
+            step, any callback exposing a ``finalize(sim)`` method
+            (directly, or on the object a bound method belongs to) has
+            it invoked exactly once — this is how trajectory writers
+            flush a final frame that the ``every`` stride would skip.
         """
         if steps < 0:
             raise ValueError("steps must be non-negative")
+        if callback is None:
+            callbacks = []
+        elif isinstance(callback, (list, tuple)):
+            callbacks = list(callback)
+        else:
+            callbacks = [callback]
         if self.last_result is None:
             self.compute_forces()
         thermo: list[ThermoSample] = []
@@ -310,10 +322,16 @@ class Simulation:
             self.step_index += 1
             if thermo_every and self.step_index % thermo_every == 0:
                 collect()
-            if callback is not None:
-                callback(self, self.step_index)
+            for cb in callbacks:
+                cb(self, self.step_index)
         if not thermo_every or self.step_index % thermo_every:
             collect()
+        for cb in callbacks:
+            fin = getattr(cb, "finalize", None)
+            if fin is None:
+                fin = getattr(getattr(cb, "__self__", None), "finalize", None)
+            if fin is not None:
+                fin(self)
         return RunResult(
             steps=steps,
             timers=self.timers,

@@ -196,6 +196,25 @@ def _worker_main(
                     conn.send(("ok", None))
                 elif cmd == "step":
                     conn.send(("ok", _step_ranks(states, X, F, box)))
+                elif cmd == "listrefs":
+                    # checkpoint support: each rank's last list-build
+                    # positions, so a restart can rebuild the *same* list
+                    refs = {}
+                    for rank, st in states.items():
+                        xr = st.neigh._x_ref
+                        refs[rank] = None if xr is None else xr.copy()
+                    conn.send(("ok", refs))
+                elif cmd == "warm":
+                    # restart support: rebuild each rank's list at its
+                    # checkpointed reference positions (not the current
+                    # ones) so topology, pair order and future rebuild
+                    # decisions match the uninterrupted run bitwise.
+                    for payload in msg[1]:
+                        st = states[payload["rank"]]
+                        st.neigh.build(payload["x_ref"], box)
+                        blank_ghost_rows(st.neigh, st.n_owned)
+                        st.force_rebuild = False
+                    conn.send(("ok", None))
                 else:
                     conn.send(("error", f"unknown command {cmd!r}"))
             except Exception:
@@ -477,6 +496,69 @@ class ParallelEngine:
         )
         self.last_step = step
         return step
+
+    # -- checkpoint/restart -------------------------------------------------------
+
+    def get_state(self) -> dict | None:
+        """Checkpointable decomposition + per-rank neighbor-list state.
+
+        ``None`` before the first :meth:`compute` (nothing to restore).
+        The state pins the positions the decomposition and every rank's
+        neighbor list were built at — both are deterministic functions
+        of those positions, so :meth:`restore_state` reconstructs them
+        bitwise instead of shipping the arrays themselves.
+        """
+        if self._closed:
+            raise EngineError("engine is closed")
+        if self._dd is None:
+            return None
+        for conn in self._conns:
+            conn.send(("listrefs",))
+        rank_refs: dict[int, np.ndarray | None] = {}
+        for w, conn in enumerate(self._conns):
+            rank_refs.update(self._recv(w, conn))
+        return {
+            "ranks": self.ranks,
+            "sort": self.sort,
+            "generation": self.generation,
+            "steps": self.steps,
+            "rebuild_steps": self.rebuild_steps,
+            "x_ref": self._x_ref.copy(),
+            "rank_refs": rank_refs,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Warm-start from a :meth:`get_state` snapshot.
+
+        Rebuilds the decomposition at the checkpointed reference
+        positions and has each worker rebuild its rank lists at their
+        checkpointed build positions, so the next :meth:`compute` sees
+        exactly the state the uninterrupted run had — same domains,
+        same list topology, same pending rebuild criteria.
+        """
+        if self._closed:
+            raise EngineError("engine is closed")
+        if int(state["ranks"]) != self.ranks:
+            raise EngineError(
+                f"checkpoint was taken with ranks={state['ranks']}, engine has ranks={self.ranks}"
+            )
+        if bool(state["sort"]) != self.sort:
+            raise EngineError("checkpoint/engine disagree on domain sorting")
+        self._decompose(np.ascontiguousarray(state["x_ref"], dtype=np.float64))
+        payloads: list[list[dict]] = [[] for _ in range(self.workers)]
+        for rank, x_ref in state["rank_refs"].items():
+            if x_ref is None:
+                continue
+            payloads[self._worker_of(int(rank))].append(
+                {"rank": int(rank), "x_ref": np.ascontiguousarray(x_ref, dtype=np.float64)}
+            )
+        for conn, payload in zip(self._conns, payloads):
+            conn.send(("warm", payload))
+        for w, conn in enumerate(self._conns):
+            self._recv(w, conn)
+        self.generation = int(state["generation"])
+        self.steps = int(state["steps"])
+        self.rebuild_steps = int(state["rebuild_steps"])
 
     # -- observability ------------------------------------------------------------
 

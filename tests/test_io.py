@@ -74,6 +74,30 @@ class TestTrajectory:
         with pytest.raises(ValueError):
             XYZTrajectory(tmp_path / "x.xyz", every=0)
 
+    def test_final_frame_written_when_stride_misaligned(self, tmp_path):
+        # regression: run(n) with n % every != 0 used to end without
+        # the last state on disk; finalize now flushes it
+        s = diamond_lattice(2, 2, 2)
+        seeded_velocities(s, 300.0, seed=2)
+        sim = Simulation(s, LennardJones(0.02, 2.3, cutoff=4.2, shift=True),
+                         neighbor=NeighborSettings(cutoff=4.2, skin=0.8, full=False))
+        traj = XYZTrajectory(tmp_path / "run.xyz", every=5)
+        sim.run(12, callback=traj.callback)
+        assert traj.frames_written == 3  # steps 5, 10 and the final 12
+        frames = read_xyz_frames(tmp_path / "run.xyz")
+        assert len(frames) == 3
+        assert np.allclose(frames[-1].x, sim.system.x % sim.system.box.lengths)
+        assert (tmp_path / "run.xyz").read_text().count("step=12") == 1
+
+    def test_finalize_idempotent_when_aligned(self, tmp_path):
+        s = diamond_lattice(2, 2, 2)
+        seeded_velocities(s, 300.0, seed=2)
+        sim = Simulation(s, LennardJones(0.02, 2.3, cutoff=4.2, shift=True),
+                         neighbor=NeighborSettings(cutoff=4.2, skin=0.8, full=False))
+        traj = XYZTrajectory(tmp_path / "run.xyz", every=5)
+        sim.run(10, callback=traj.callback)
+        assert traj.frames_written == 2  # no duplicate frame for step 10
+
 
 class TestMultiFrame:
     def test_read_xyz_frames(self, tmp_path):
