@@ -51,6 +51,7 @@ class LintConfig:
 
     kernel_modules: tuple[str, ...] = (
         "repro/core/",
+        "repro/backends/",
         "repro/vector/backend.py",
         "repro/md/pair_lj_vectorized.py",
     )

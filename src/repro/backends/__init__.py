@@ -1,0 +1,169 @@
+"""Pluggable compute backends (the repo's Sec.-V argument made real).
+
+The paper's thesis is performance portability: one Tersoff algorithm,
+specialized per instruction set through an abstraction layer.  This
+package is that abstraction layer for the reproduction: a registry of
+:class:`ComputeBackend` entries, each able to supply a
+``MultiBodyKernel`` implementation for the staged pipeline.  The
+staging machinery (filter, `InteractionCache`, `Workspace`, triplet
+expansion, parameter gathers) is shared verbatim — a backend only
+replaces the *computational part* (paper Alg. 3).
+
+Registered backends:
+
+- ``numpy``    — the wide-vector numpy kernel; always available, the
+  default, and bitwise-unchanged by this package's existence.
+- ``compiled`` — a C kernel compiled at first use with the host
+  toolchain (strategy ``cext``), or a Numba-jitted loop kernel when
+  numba is installed (strategy ``numba``); same staging arrays, same
+  accumulation order, equivalence contract in DESIGN.md §12.
+
+Selection is plumbed end-to-end: ``TersoffProduction(backend=...)``,
+``make_solver(..., backend=...)``, ``repro run --backend``, ``repro
+bench run --backend``.  ``resolve()`` falls back to ``numpy`` with a
+one-time warning when the requested backend cannot run on this host
+(no C toolchain, no numba); pass ``fallback=False`` to make the
+unavailability a hard error instead.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import warnings
+
+from repro.backends.base import BackendUnavailableError, ComputeBackend, UnknownBackendError
+
+__all__ = [
+    "BackendUnavailableError",
+    "ComputeBackend",
+    "UnknownBackendError",
+    "available",
+    "get",
+    "get_default",
+    "is_available",
+    "names",
+    "register",
+    "resolve",
+    "set_default",
+]
+
+_REGISTRY: dict[str, ComputeBackend] = {}
+_DEFAULT_NAME = "numpy"
+_FALLBACK_WARNED: set[str] = set()
+
+
+def register(backend: ComputeBackend) -> ComputeBackend:
+    if backend.name in _REGISTRY:
+        raise ValueError(f"backend {backend.name!r} already registered")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def names() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def get(name: str) -> ComputeBackend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackendError(
+            f"unknown backend {name!r}; registered: {', '.join(names())}"
+        ) from None
+
+
+def available() -> dict[str, str | None]:
+    """Capability probe: ``{name: None}`` if usable, else the reason not."""
+    return {name: _REGISTRY[name].probe() for name in names()}
+
+
+def is_available(name: str) -> bool:
+    return get(name).probe() is None
+
+
+def get_default() -> str:
+    return _DEFAULT_NAME
+
+
+def set_default(name: str) -> None:
+    """Set the process-wide default backend (used by ``--backend`` flags)."""
+    global _DEFAULT_NAME
+    get(name)  # validate
+    _DEFAULT_NAME = name
+
+
+def resolve(name: str | None = None, *, fallback: bool = True) -> ComputeBackend:
+    """Resolve a backend name (``None`` = process default) to a usable entry.
+
+    Unavailable + ``fallback=True``: returns the ``numpy`` backend and
+    warns once per backend name per process.  ``fallback=False`` raises
+    :class:`BackendUnavailableError` instead (bench cases use this so a
+    "compiled" measurement can never silently time numpy).
+    """
+    backend = get(name if name is not None else _DEFAULT_NAME)
+    reason = backend.probe()
+    if reason is None:
+        return backend
+    if not fallback:
+        raise BackendUnavailableError(f"backend {backend.name!r} unavailable: {reason}")
+    if backend.name not in _FALLBACK_WARNED:
+        _FALLBACK_WARNED.add(backend.name)
+        warnings.warn(
+            f"compute backend {backend.name!r} unavailable ({reason}); "
+            "falling back to 'numpy'",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+    return get("numpy")
+
+
+# ---------------------------------------------------------------------------
+# built-in backends (factories import lazily: registering costs nothing,
+# and repro.core.tersoff.production can import this package cycle-free)
+# ---------------------------------------------------------------------------
+
+
+def _numpy_probe() -> str | None:
+    return None
+
+
+def _make_numpy_tersoff(params, precision):
+    from repro.core.tersoff.production import TersoffKernel
+
+    return TersoffKernel(params, precision)
+
+
+def _compiled_probe() -> str | None:
+    from repro.backends import cext
+
+    cext_reason = cext.probe()
+    if cext_reason is None:
+        return None
+    if importlib.util.find_spec("numba") is not None:
+        return None
+    return f"{cext_reason}; and numba is not installed"
+
+
+def _make_compiled_tersoff(params, precision):
+    from repro.backends.compiled import CompiledTersoffKernel
+
+    return CompiledTersoffKernel(params, precision)
+
+
+register(
+    ComputeBackend(
+        name="numpy",
+        description="wide-vector numpy kernel (default; the frozen reference)",
+        probe=_numpy_probe,
+        make_tersoff_kernel=_make_numpy_tersoff,
+    )
+)
+
+register(
+    ComputeBackend(
+        name="compiled",
+        description="C kernel built with the host toolchain (or Numba-jitted loops)",
+        probe=_compiled_probe,
+        make_tersoff_kernel=_make_compiled_tersoff,
+    )
+)

@@ -1,0 +1,51 @@
+/* C-extension entry points for the compiled Tersoff backend.
+ *
+ * Built at runtime by repro/backends/cext.py with
+ *   cc -O2 -fPIC -shared -fno-fast-math -ffp-contract=off
+ * and loaded through ctypes.  The REAL-templated body lives in
+ * _tersoff_impl.h and is instantiated for double (Opt-D and the
+ * accumulate side of Opt-M) and float (Opt-S/M compute side).
+ */
+
+#include <math.h>
+#include <stdint.h>
+#include <string.h>
+
+#define CAT_(a, b) a##b
+#define CAT(a, b) CAT_(a, b)
+
+/* np.pi/2 and np.pi/4 to the double ULP */
+#define HALF_PI_D 1.5707963267948966
+#define QUARTER_PI_D 0.7853981633974483
+
+#define REAL double
+#define TSUF f64
+#define R_SIN sin
+#define R_COS cos
+#define R_EXP exp
+#define R_POW pow
+#define R_SQRT sqrt
+#include "_tersoff_impl.h"
+#undef REAL
+#undef TSUF
+#undef R_SIN
+#undef R_COS
+#undef R_EXP
+#undef R_POW
+#undef R_SQRT
+
+#define REAL float
+#define TSUF f32
+#define R_SIN sinf
+#define R_COS cosf
+#define R_EXP expf
+#define R_POW powf
+#define R_SQRT sqrtf
+#include "_tersoff_impl.h"
+#undef REAL
+#undef TSUF
+#undef R_SIN
+#undef R_COS
+#undef R_EXP
+#undef R_POW
+#undef R_SQRT

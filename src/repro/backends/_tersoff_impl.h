@@ -1,0 +1,280 @@
+/* Tersoff staged-kernel computational part, REAL-templated.
+ *
+ * Included twice from _tersoff.c (REAL=double/TSUF=f64, then
+ * REAL=float/TSUF=f32).  This mirrors the numpy backend
+ * (repro/core/tersoff/production.py::TersoffKernel.evaluate and
+ * repro/core/tersoff/functional.py) term for term: same expressions,
+ * same left-to-right association, same accumulation order (a numpy
+ * bincount adds its weights sequentially in input order, so the
+ * scatter passes below replay segsum3 exactly).  Compile with
+ * -fno-fast-math -ffp-contract=off: a contracted FMA would change the
+ * rounding and break the documented ULP contract against numpy.
+ *
+ * Inputs arrive as the exact staging arrays StagedPipeline produces:
+ * geometry in float64, parameter blocks pre-gathered per pair/triplet
+ * in the compute dtype.  Elementwise math runs in REAL; every
+ * accumulation (zeta, per-atom energy, force scatters) runs in double,
+ * matching the numpy kernel's accumulate discipline.
+ */
+
+#define TFN(name) CAT(name, TSUF)
+
+static inline REAL TFN(ters_fc_)(REAL r, REAL Rp, REAL Dp) {
+    /* numpy: where(r < R-D, 1, where(r > R+D, 0, 0.5*(1-sin(clip(arg))))) */
+    if (r < Rp - Dp) return (REAL)1.0;
+    if (r > Rp + Dp) return (REAL)0.0;
+    REAL arg = (REAL)HALF_PI_D * (r - Rp) / Dp;
+    if (arg < -(REAL)HALF_PI_D) arg = -(REAL)HALF_PI_D;
+    if (arg > (REAL)HALF_PI_D) arg = (REAL)HALF_PI_D;
+    return (REAL)0.5 * ((REAL)1.0 - R_SIN(arg));
+}
+
+static inline REAL TFN(ters_fc_d_)(REAL r, REAL Rp, REAL Dp) {
+    if (r < Rp - Dp || r > Rp + Dp) return (REAL)0.0;
+    REAL arg = (REAL)HALF_PI_D * (r - Rp) / Dp;
+    return -((REAL)QUARTER_PI_D / Dp) * R_COS(arg);
+}
+
+static inline REAL TFN(ters_g_)(REAL cth, REAL gam, REAL c, REAL d, REAL h) {
+    REAL hcth = h - cth;
+    REAL c2 = c * c;
+    REAL d2 = d * d;
+    return gam * ((REAL)1.0 + c2 / d2 - c2 / (d2 + hcth * hcth));
+}
+
+static inline REAL TFN(ters_g_d_)(REAL cth, REAL gam, REAL c, REAL d, REAL h) {
+    REAL hcth = h - cth;
+    REAL c2 = c * c;
+    REAL d2 = d * d;
+    REAL denom = d2 + hcth * hcth;
+    return gam * (-(REAL)2.0 * c2 * hcth) / (denom * denom);
+}
+
+/* b_order / b_order_d fused: the np.where override chain rewritten as
+ * the equivalent priority if-chain (last-applied numpy where wins ->
+ * first C test): tmp>c1, tmp>c2, tmp<c4, tmp<c3, else exact.  Shared
+ * subexpressions (sqrt, pow) are numpy-identical CSE — numpy computes
+ * them twice with identical inputs.  One intentional algebraic
+ * deviation, for half the libm pow traffic on the dominant branch: the
+ * derivative's pow(1+x, -1-q) is computed as pow(1+x, -q)/(1+x)
+ * (exact in real arithmetic, ~1 ULP in float).  It only feeds the
+ * dV/dzeta prefactor, i.e. triplet forces/stress, whose equivalence
+ * contract is norm-scaled, not elementwise-ULP (DESIGN.md §12);
+ * b_ij itself — the energy path — keeps numpy's exact expression. */
+static inline void TFN(ters_bij_both_)(REAL z, REAL beta, REAL nn,
+                                       REAL c1, REAL c2v, REAL c3, REAL c4,
+                                       REAL *bij, REAL *bijd) {
+    REAL tmp = beta * z;
+    REAL tmp_safe = tmp > (REAL)1.0e-300 ? tmp : (REAL)1.0e-300;
+    if (tmp > c1) {
+        REAL s = R_SQRT(tmp_safe);
+        *bij = (REAL)1.0 / s;
+        *bijd = beta * ((REAL)-0.5 / (tmp_safe * s));
+    } else if (tmp > c2v) {
+        REAL s = R_SQRT(tmp_safe);
+        REAL tmp_mn = R_POW(tmp_safe, -nn);
+        *bij = ((REAL)1.0 - tmp_mn / ((REAL)2.0 * nn)) / s;
+        *bijd = beta * ((REAL)-0.5 / (tmp_safe * s)
+                        * ((REAL)1.0 - ((REAL)1.0 + (REAL)0.5 / nn) * tmp_mn));
+    } else if (tmp < c4) {
+        *bij = (REAL)1.0;
+        *bijd = (REAL)0.0;
+    } else if (tmp < c3) {
+        REAL tmp_n = R_POW(tmp_safe, nn);
+        *bij = (REAL)1.0 - tmp_n / ((REAL)2.0 * nn);
+        *bijd = (REAL)-0.5 * beta * R_POW(tmp_safe, nn - (REAL)1.0);
+    } else {
+        REAL zeta_safe = z > (REAL)1.0e-300 ? z : (REAL)1.0e-300;
+        REAL tmp_n = R_POW(tmp_safe, nn);
+        REAL b = R_POW((REAL)1.0 + tmp_n, (REAL)-1.0 / ((REAL)2.0 * nn));
+        *bij = b;
+        *bijd = (REAL)-0.5 * (b / ((REAL)1.0 + tmp_n)) * tmp_n / zeta_safe;
+    }
+}
+
+/* Parameter-block layouts (field-major, matching the Python packers):
+ * pp[f*P + p] with f over PROD_PAIR_FIELDS   (R D A lam1 B lam2 beta n c1 c2 c3 c4)
+ * tpp[f*T + t] with f over PROD_TRIPLET_FIELDS (R D gamma c d h lam3) */
+void TFN(tersoff_eval_)(
+    const int64_t P, const int64_t T, const int64_t N,
+    const double *restrict pd,   /* (P,3) pair displacement x_j - x_i   */
+    const double *restrict pr,   /* (P,)  pair distance                 */
+    const int64_t *restrict ii,  /* (P,)  atom i per pair               */
+    const int64_t *restrict jj,  /* (P,)  atom j per pair               */
+    const double *restrict kd,   /* (K,3) k-candidate displacement      */
+    const double *restrict kr,   /* (K,)  k-candidate distance          */
+    const int64_t *restrict kjj, /* (K,)  atom j per k-candidate        */
+    const int64_t *restrict tp,  /* (T,)  pair row per triplet          */
+    const int64_t *restrict tk,  /* (T,)  k-candidate row per triplet   */
+    const REAL *restrict pp,     /* (12,P) gathered pair params         */
+    const REAL *restrict tpp,    /* (7,T)  gathered triplet params      */
+    const double *restrict mt,   /* (T,)  zeta exponent selector m      */
+    double *restrict zeta,       /* (P,)   scratch, zeroed here         */
+    REAL *restrict tscr,         /* (T,8)  scratch triplet intermediates */
+    REAL *restrict pref,         /* (P,)   scratch dV/dzeta prefactor   */
+    double *restrict fi,         /* (T,3)  scratch triplet force on i   */
+    double *restrict sbuf,       /* (N,3)  scratch per-pass scatter sum */
+    REAL *restrict e_pair,       /* (P,)   out                          */
+    double *restrict fvec,       /* (P,3)  out pair force term          */
+    double *restrict fj,         /* (T,3)  out triplet force on j       */
+    double *restrict fk,         /* (T,3)  out triplet force on k       */
+    double *restrict forces,     /* (N,3)  out, zeroed here             */
+    double *restrict peratom,    /* (N,)   out, zeroed here             */
+    double *restrict stress_p,   /* (3,3)  out: sum_p d[p,a] fvec[p,b]  */
+    double *restrict stress_j,   /* (3,3)  out: sum_t d[tp,a] fj[t,b]   */
+    double *restrict stress_k)   /* (3,3)  out: sum_t kd[tk,a] fk[t,b]  */
+{
+    int64_t t, p, x, c, a;
+
+    memset(zeta, 0, (size_t)P * sizeof(double));
+    memset(peratom, 0, (size_t)N * sizeof(double));
+    memset(stress_p, 0, 9 * sizeof(double));
+    memset(stress_j, 0, 9 * sizeof(double));
+    memset(stress_k, 0, 9 * sizeof(double));
+
+    /* ---- triplet pass 1: zeta accumulation (bincount == t order) ---- */
+    for (t = 0; t < T; t++) {
+        const int64_t pt = tp[t], kt = tk[t];
+        const REAL dij0 = (REAL)pd[3 * pt], dij1 = (REAL)pd[3 * pt + 1], dij2 = (REAL)pd[3 * pt + 2];
+        const REAL dik0 = (REAL)kd[3 * kt], dik1 = (REAL)kd[3 * kt + 1], dik2 = (REAL)kd[3 * kt + 2];
+        const REAL rij = (REAL)pr[pt];
+        const REAL rik = (REAL)kr[kt];
+        const REAL cos_t = (dij0 * dik0 + dij1 * dik1 + dij2 * dik2) / (rij * rik);
+
+        const REAL Rt = tpp[0 * T + t], Dt = tpp[1 * T + t];
+        const REAL gam = tpp[2 * T + t], ct = tpp[3 * T + t], dt = tpp[4 * T + t];
+        const REAL ht = tpp[5 * T + t], l3 = tpp[6 * T + t];
+
+        const REAL fcik = TFN(ters_fc_)(rik, Rt, Dt);
+        const REAL fcdik = TFN(ters_fc_d_)(rik, Rt, Dt);
+        const REAL g = TFN(ters_g_)(cos_t, gam, ct, dt, ht);
+        const REAL gd = TFN(ters_g_d_)(cos_t, gam, ct, dt, ht);
+
+        /* zeta_exp / zeta_exp_d_over, exponent clamped at +69 */
+        const REAL delr = rij - rik;
+        const REAL ld = l3 * delr;
+        const REAL expo = (mt[t] == 3.0) ? ld * ld * ld : ld;
+        const REAL ex = R_EXP(expo < (REAL)69.0 ? expo : (REAL)69.0);
+        const REAL exld = (expo >= (REAL)69.0)
+                              ? (REAL)0.0
+                              : ((mt[t] == 3.0) ? (REAL)3.0 * l3 * ld * ld : l3);
+
+        const REAL contrib = fcik * g * ex;
+        zeta[pt] += (double)contrib;
+
+        REAL *s = tscr + 8 * t;
+        s[0] = cos_t;
+        s[1] = fcik;
+        s[2] = fcdik;
+        s[3] = g;
+        s[4] = gd;
+        s[5] = ex;
+        s[6] = exld;
+        s[7] = contrib;
+    }
+
+    /* ---- pair terms (incl. per-atom energy bincount in p order) ---- */
+    for (p = 0; p < P; p++) {
+        const REAL r = (REAL)pr[p];
+        const REAL Rp = pp[0 * P + p], Dp = pp[1 * P + p];
+        const REAL A = pp[2 * P + p], lam1 = pp[3 * P + p];
+        const REAL B = pp[4 * P + p], lam2 = pp[5 * P + p];
+        const REAL beta = pp[6 * P + p], nn = pp[7 * P + p];
+        const REAL c1 = pp[8 * P + p], c2v = pp[9 * P + p];
+        const REAL c3 = pp[10 * P + p], c4 = pp[11 * P + p];
+
+        const REAL fcij = TFN(ters_fc_)(r, Rp, Dp);
+        const REAL fcdij = TFN(ters_fc_d_)(r, Rp, Dp);
+        const REAL fr = A * R_EXP(-lam1 * r);
+        const REAL frd = -lam1 * fr;
+        const REAL fa = -B * R_EXP(-lam2 * r);
+        const REAL fad = -lam2 * fa;
+        const REAL z = (REAL)zeta[p];
+        REAL bij, bijd;
+        TFN(ters_bij_both_)(z, beta, nn, c1, c2v, c3, c4, &bij, &bijd);
+
+        const REAL e = (REAL)0.5 * fcij * (fr + bij * fa);
+        const REAL dE = (REAL)0.5 * (fcdij * (fr + bij * fa) + fcij * (frd + bij * fad));
+        const REAL fp = -dE / r;
+
+        e_pair[p] = e;
+        pref[p] = (REAL)0.5 * fcij * fa * bijd;
+        fvec[3 * p] = (double)(fp * (REAL)pd[3 * p]);
+        fvec[3 * p + 1] = (double)(fp * (REAL)pd[3 * p + 1]);
+        fvec[3 * p + 2] = (double)(fp * (REAL)pd[3 * p + 2]);
+        peratom[ii[p]] += (double)e;
+        /* pair virial W_ab += d_a F_b; per-element accumulation order
+         * over p matches np.einsum("ia,ib->ab") (sequential over i) */
+        for (a = 0; a < 3; a++)
+            for (c = 0; c < 3; c++)
+                stress_p[3 * a + c] += pd[3 * p + a] * fvec[3 * p + c];
+    }
+
+    /* ---- triplet pass 2: zeta-derivative force terms ---- */
+    for (t = 0; t < T; t++) {
+        const int64_t pt = tp[t], kt = tk[t];
+        const REAL *s = tscr + 8 * t;
+        const REAL cos_t = s[0], fcik = s[1], fcdik = s[2], g = s[3];
+        const REAL gd = s[4], ex = s[5], exld = s[6], contrib = s[7];
+        const REAL rij = (REAL)pr[pt];
+        const REAL rik = (REAL)kr[kt];
+        const REAL pre = pref[pt];
+        const REAL crij = cos_t / rij;
+        const REAL crik = cos_t / rik;
+        const REAL fcgdex = fcik * gd * ex;
+        const REAL aj = contrib * exld;
+        const REAL ak = fcdik * g * ex - contrib * exld;
+        for (c = 0; c < 3; c++) {
+            const REAL hij = (REAL)pd[3 * pt + c] / rij;
+            const REAL hik = (REAL)kd[3 * kt + c] / rik;
+            const REAL dcj = hik / rij - crij * hij;
+            const REAL dck = hij / rik - crik * hik;
+            const REAL dzj = aj * hij + fcgdex * dcj;
+            const REAL dzk = ak * hik + fcgdex * dck;
+            const REAL dzi = -(dzj + dzk);
+            fi[3 * t + c] = (double)(pre * dzi);
+            fj[3 * t + c] = (double)(pre * dzj);
+            fk[3 * t + c] = (double)(pre * dzk);
+        }
+        /* triplet virial terms, same einsum accumulation order over t */
+        for (a = 0; a < 3; a++)
+            for (c = 0; c < 3; c++) {
+                stress_j[3 * a + c] += pd[3 * pt + a] * fj[3 * t + c];
+                stress_k[3 * a + c] += kd[3 * kt + a] * fk[3 * t + c];
+            }
+    }
+
+    /* ---- force scatter: replay segsum3 passes in the numpy order ----
+     * forces = 0; -= segsum(i, fvec); += segsum(j, fvec);
+     * -= segsum(i[tp], fi); -= segsum(j[tp], fj); -= segsum(kj[tk], fk) */
+    memset(forces, 0, (size_t)(3 * N) * sizeof(double));
+
+    memset(sbuf, 0, (size_t)(3 * N) * sizeof(double));
+    for (p = 0; p < P; p++)
+        for (c = 0; c < 3; c++) sbuf[3 * ii[p] + c] += fvec[3 * p + c];
+    for (x = 0; x < 3 * N; x++) forces[x] -= sbuf[x];
+
+    memset(sbuf, 0, (size_t)(3 * N) * sizeof(double));
+    for (p = 0; p < P; p++)
+        for (c = 0; c < 3; c++) sbuf[3 * jj[p] + c] += fvec[3 * p + c];
+    for (x = 0; x < 3 * N; x++) forces[x] += sbuf[x];
+
+    if (T) {
+        memset(sbuf, 0, (size_t)(3 * N) * sizeof(double));
+        for (t = 0; t < T; t++)
+            for (c = 0; c < 3; c++) sbuf[3 * ii[tp[t]] + c] += fi[3 * t + c];
+        for (x = 0; x < 3 * N; x++) forces[x] -= sbuf[x];
+
+        memset(sbuf, 0, (size_t)(3 * N) * sizeof(double));
+        for (t = 0; t < T; t++)
+            for (c = 0; c < 3; c++) sbuf[3 * jj[tp[t]] + c] += fj[3 * t + c];
+        for (x = 0; x < 3 * N; x++) forces[x] -= sbuf[x];
+
+        memset(sbuf, 0, (size_t)(3 * N) * sizeof(double));
+        for (t = 0; t < T; t++)
+            for (c = 0; c < 3; c++) sbuf[3 * kjj[tk[t]] + c] += fk[3 * t + c];
+        for (x = 0; x < 3 * N; x++) forces[x] -= sbuf[x];
+    }
+}
+
+#undef TFN

@@ -1,0 +1,148 @@
+"""Runtime C-extension builder/loader for the compiled backend.
+
+The compiled strategy ships C source (``_tersoff.c`` + the
+REAL-templated ``_tersoff_impl.h``) inside the package and compiles it
+on first use with the host toolchain — no build-time step, no binary
+wheels, and ``pip install repro`` stays pure-Python.  The shared object
+is keyed by a content hash of the sources, the compile flags and the
+compiler identity, cached under ``~/.cache/repro/cext`` (override with
+``REPRO_CEXT_CACHE``), and published atomically (tmp file +
+``os.replace``) so concurrent builders — e.g. spawn-executor workers
+warming simultaneously — race benignly.
+
+Float-determinism flags are part of the contract, not an optimization
+choice: ``-fno-fast-math -ffp-contract=off`` keeps every expression at
+one rounding per operator, which is what makes the documented ULP
+bounds against the numpy backend (DESIGN.md §12) hold.
+
+``REPRO_NO_CEXT=1`` force-disables the toolchain probe; tests and the
+no-extra CI leg use it to exercise the numpy fallback on hosts that do
+have a compiler.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+_SRC_DIR = Path(__file__).resolve().parent
+_SOURCES = ("_tersoff.c", "_tersoff_impl.h")
+_CFLAGS = ("-O3", "-fPIC", "-shared", "-fno-fast-math", "-ffp-contract=off")
+_COMPILERS = ("cc", "gcc", "clang")
+
+_lib: ctypes.CDLL | None = None
+_fns: dict[str, object] = {}
+
+
+class CextBuildError(RuntimeError):
+    """The toolchain probe passed but the actual build failed."""
+
+
+def find_compiler() -> str | None:
+    """Path of the C compiler to use, or ``None`` if the host has none."""
+    if os.environ.get("REPRO_NO_CEXT"):
+        return None
+    env_cc = os.environ.get("CC")
+    candidates = (env_cc,) + _COMPILERS if env_cc else _COMPILERS
+    for name in candidates:
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def probe() -> str | None:
+    """``None`` when the cext strategy can run here, else the reason."""
+    if os.environ.get("REPRO_NO_CEXT"):
+        return "disabled by REPRO_NO_CEXT"
+    if find_compiler() is None:
+        return "no C compiler on PATH (tried CC, cc, gcc, clang)"
+    return None
+
+
+def _compiler_identity(cc: str) -> str:
+    try:
+        out = subprocess.run(
+            [cc, "--version"], capture_output=True, text=True, timeout=30, check=False
+        ).stdout
+        first = out.splitlines()[0] if out else ""
+    except OSError:
+        first = ""
+    return f"{cc}:{first}"
+
+
+def _cache_dir() -> Path:
+    override = os.environ.get("REPRO_CEXT_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "cext"
+
+
+def _build_key(cc: str) -> str:
+    h = hashlib.sha256()
+    for name in _SOURCES:
+        h.update(name.encode())
+        h.update((_SRC_DIR / name).read_bytes())
+    h.update(" ".join(_CFLAGS).encode())
+    h.update(_compiler_identity(cc).encode())
+    return h.hexdigest()[:16]
+
+
+def build(force: bool = False) -> Path:
+    """Compile (or reuse) the shared object; returns its path."""
+    cc = find_compiler()
+    if cc is None:
+        raise CextBuildError(probe() or "no C compiler found")
+    cache = _cache_dir()
+    so_path = cache / f"tersoff_{_build_key(cc)}.so"
+    if so_path.exists() and not force:
+        return so_path
+    cache.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=str(cache))
+    os.close(fd)
+    cmd = [cc, *_CFLAGS, str(_SRC_DIR / "_tersoff.c"), f"-I{_SRC_DIR}", "-o", tmp, "-lm"]
+    try:
+        res = subprocess.run(cmd, capture_output=True, text=True, timeout=300)
+        if res.returncode != 0:
+            raise CextBuildError(
+                f"C backend build failed ({' '.join(cmd)}):\n{res.stderr.strip()}"
+            )
+        os.replace(tmp, so_path)  # atomic publish; concurrent builders race benignly
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+    return so_path
+
+
+def _bind(lib: ctypes.CDLL, symbol: str):
+    fn = getattr(lib, symbol)
+    # (P, T, N) then 26 raw buffer pointers; shapes/dtypes are enforced
+    # by the Python caller (CompiledTersoffKernel packs the buffers)
+    fn.argtypes = [ctypes.c_int64] * 3 + [ctypes.c_void_p] * 26
+    fn.restype = None
+    return fn
+
+
+def load() -> dict[str, object]:
+    """Build if needed, load the library, and return the entry points.
+
+    Returns ``{"f64": <fn>, "f32": <fn>}``; cached per process.
+    """
+    global _lib
+    if _lib is None:
+        so_path = build()
+        _lib = ctypes.CDLL(str(so_path))
+        _fns["f64"] = _bind(_lib, "tersoff_eval_f64")
+        _fns["f32"] = _bind(_lib, "tersoff_eval_f32")
+    return _fns
+
+
+def loaded() -> bool:
+    return _lib is not None

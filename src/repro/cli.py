@@ -25,11 +25,26 @@ import sys
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
+    import multiprocessing
+
     import repro
-    from repro.perf.machines import list_machines
+    from repro.backends import available, get, get_default
+    from repro.perf.machines import host_fingerprint, list_machines
     from repro.vector.isa import ISA_REGISTRY
 
     print(f"repro {repro.__version__} — Tersoff vectorization reproduction (SC'16)")
+    print("\ncompute backends:")
+    for name, reason in available().items():
+        status = "available" if reason is None else f"unavailable: {reason}"
+        default = " (default)" if name == get_default() else ""
+        print(f"  {name:8s} {status}{default}")
+        print(f"           {get(name).description}")
+    print("\nexecutor start methods:")
+    methods = multiprocessing.get_all_start_methods()
+    print(f"  serial; process via {', '.join(methods)}")
+    fp = host_fingerprint()
+    print(f"\nhost: {fp.get('processor') or fp.get('arch', '?')} "
+          f"({fp.get('cpu_count', '?')} cpus, fingerprint {fp.get('fingerprint_id')})")
     print("\nvector backends:")
     for name, isa in sorted(ISA_REGISTRY.items()):
         feats = []
@@ -51,7 +66,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_run_potential(potential: str, mode: str, cache: bool):
+def _build_run_potential(potential: str, mode: str, cache: bool, backend: str | None = None):
     """Construct the ``repro run`` potential; returns ``(pot, cutoff)``."""
     from repro.core.schemes import make_solver, mode_precision
     from repro.core.sw import StillingerWeberProduction, StillingerWeberReference, sw_silicon
@@ -59,13 +74,15 @@ def _build_run_potential(potential: str, mode: str, cache: bool):
 
     if potential == "sw":
         params = sw_silicon()
+        if backend is not None:
+            raise ValueError("--backend applies to the Tersoff Opt-* production path only")
         if mode == "Ref":
             return StillingerWeberReference(params), params.cut
         return StillingerWeberProduction(
             params, precision=mode_precision(mode), cache=cache
         ), params.cut
     params = tersoff_si()
-    return make_solver(params, mode, cache=cache), params.max_cutoff
+    return make_solver(params, mode, cache=cache, backend=backend), params.max_cutoff
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -87,14 +104,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         potential_name = config.get("potential", args.potential)
         mode = config.get("mode", args.mode)
         cache = config.get("cache", not args.no_cache)
-        pot, _ = _build_run_potential(potential_name, mode, cache)
+        backend = config.get("backend", args.backend)
+        try:
+            pot, _ = _build_run_potential(potential_name, mode, cache, backend)
+        except ValueError as exc:
+            print(f"run: {exc}", file=sys.stderr)
+            return 2
         if args.sanitize:
             from repro.analysis.sanitize import SanitizedPotential
 
             pot = SanitizedPotential(pot)
             print("sanitize: FP faults raise, force results NaN-guarded (debug mode)")
         try:
-            sim = restore_simulation(ck, pot, workers=args.workers)
+            sim = restore_simulation(ck, pot, workers=args.workers, executor=args.executor)
         except CheckpointError as exc:
             print(f"restart: {exc}", file=sys.stderr)
             return 2
@@ -102,10 +124,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"({sim.system.n} atoms, {potential_name} ({mode}))")
     else:
         potential_name, mode, cache = args.potential, args.mode, not args.no_cache
+        backend = args.backend
         cells = cells_for_atoms(args.atoms)
         system = diamond_lattice(*cells)
         seeded_velocities(system, args.temperature, seed=args.seed)
-        pot, cutoff = _build_run_potential(potential_name, mode, cache)
+        try:
+            pot, cutoff = _build_run_potential(potential_name, mode, cache, backend)
+        except ValueError as exc:
+            print(f"run: {exc}", file=sys.stderr)
+            return 2
         if args.sanitize:
             from repro.analysis.sanitize import SanitizedPotential
 
@@ -115,15 +142,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
             system, pot,
             neighbor=NeighborSettings(cutoff=cutoff, skin=args.skin),
             workers=args.workers, ranks=args.ranks, sort=args.sort_domains,
+            executor=args.executor,
         )
-    run_config = {"potential": potential_name, "mode": mode, "cache": cache}
+    run_config = {"potential": potential_name, "mode": mode, "cache": cache,
+                  "backend": backend}
     callbacks, sinks = _run_sinks(args, run_config, resume_step=sim.step_index)
 
     par = ""
     if sim.engine is not None:
         par = f", {sim.engine.workers} workers x {sim.engine.ranks} ranks"
+    backend_name = getattr(pot, "backend_name", None)
+    be = f", backend {backend_name}" if backend is not None and backend_name else ""
     print(f"{sim.system.n} Si atoms, {potential_name} ({mode}), "
-          f"{args.steps} steps at {args.temperature:.0f} K{par}")
+          f"{args.steps} steps at {args.temperature:.0f} K{par}{be}")
     print(ThermoSample.format_header())
     result = sim.run(args.steps, thermo_every=max(args.steps // 10, 1), callback=callbacks)
     for t in result.thermo:
@@ -309,6 +340,7 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
         artifact = regress.run_suite(
             smoke=args.smoke, filter=args.filter,
             repeats=args.repeats, warmup=args.warmup, min_time=args.min_time,
+            backend=args.backend,
             progress=None if args.quiet else _bench_progress,
         )
     except regress.ArtifactError as exc:
@@ -321,6 +353,8 @@ def _cmd_bench_run(args: argparse.Namespace) -> int:
     for name, res in sorted(artifact["results"].items()):
         print(f"  {name:32s} median {res['median_s'] * 1e3:9.3f} ms "
               f"(n={res['kept']}, dropped {res['dropped_outliers']})")
+    for name, reason in sorted(artifact.get("skipped", {}).items()):
+        print(f"  {name:32s} skipped: {reason}")
     return 0
 
 
@@ -331,6 +365,7 @@ def _cmd_bench_baseline(args: argparse.Namespace) -> int:
         artifact = regress.run_suite(
             smoke=args.smoke, filter=args.filter,
             repeats=args.repeats, warmup=args.warmup, min_time=args.min_time,
+            backend=args.backend,
             progress=None if args.quiet else _bench_progress,
         )
     except regress.ArtifactError as exc:
@@ -353,6 +388,7 @@ def _cmd_bench_compare(args: argparse.Namespace) -> int:
             current = regress.run_suite(
                 smoke=baseline.get("smoke", False),
                 filter=baseline.get("config", {}).get("filter"),
+                backend=baseline.get("config", {}).get("backend"),
                 repeats=args.repeats, warmup=args.warmup, min_time=args.min_time,
                 progress=None if args.quiet else _bench_progress,
             )
@@ -398,6 +434,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--no-cache", action="store_true",
                        help="disable the step-persistent interaction cache "
                             "(results are bit-for-bit identical either way)")
+    p_run.add_argument("--backend", choices=("numpy", "compiled"), default=None,
+                       help="compute backend for the Tersoff Opt-* production path "
+                            "(default: numpy; 'compiled' falls back with a warning "
+                            "when no toolchain/numba is available)")
     p_run.add_argument("--skin", type=float, default=1.0)
     p_run.add_argument("--seed", type=int, default=2016)
     p_run.add_argument("--workers", type=int, default=None,
@@ -407,6 +447,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "the physics depends only on ranks, never on workers")
     p_run.add_argument("--sort-domains", action="store_true",
                        help="Morton-order rank-local atoms (locality optimization)")
+    p_run.add_argument("--executor", choices=("serial", "process", "fork", "spawn", "forkserver"),
+                       default=None,
+                       help="execution backend for --workers (default: process pool via "
+                            "fork where available; physics is bitwise identical across "
+                            "executors)")
     p_run.add_argument("--sanitize", action="store_true",
                        help="debug: raise on FP faults and NaN-guard every force result")
     p_run.add_argument("--checkpoint", default=None, metavar="PATH",
@@ -461,6 +506,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--warmup", type=int, default=1)
         p.add_argument("--min-time", type=float, default=0.5,
                        help="sample each case for at least this many seconds")
+        p.add_argument("--backend", choices=("numpy", "compiled"), default=None,
+                       help="process-default compute backend for the run "
+                            "(cases that pin a backend are unaffected)")
         p.add_argument("--quiet", action="store_true")
 
     pb_run = bench_sub.add_parser("run", help="run the suite, write BENCH_<timestamp>.json")

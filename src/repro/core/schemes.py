@@ -75,6 +75,7 @@ def make_solver(
     isa: ISA | str = "avx2",
     use_lane_simulator: bool = False,
     cache: bool = True,
+    backend: str | None = None,
     **vector_options,
 ) -> Potential:
     """Construct the potential implementing one of the paper's modes.
@@ -94,18 +95,27 @@ def make_solver(
         Step-persistent interaction cache of the production path
         (default on; bit-for-bit identical either way).  Ignored for
         ``"Ref"`` and the lane simulator.
+    backend:
+        Compute backend for the production path (see
+        :mod:`repro.backends`); ``None`` uses the process default.
+        Only the production path has pluggable backends — passing a
+        backend with ``mode="Ref"`` or the lane simulator is an error.
     vector_options:
         Forwarded to :class:`TersoffVectorized` (scheme, fast_forward,
         filter_neighbors, kmax).
     """
     if mode == "Ref":
+        if backend is not None:
+            raise ValueError("backend selection only applies to Opt-* production modes")
         return TersoffReference(params)
     precision = mode_precision(mode)
     if use_lane_simulator:
+        if backend is not None:
+            raise ValueError("backend selection only applies to Opt-* production modes")
         return TersoffVectorized(params, isa=isa, precision=precision, **vector_options)
     if vector_options:
         raise ValueError("vector options only apply with use_lane_simulator=True")
-    return TersoffProduction(params, precision=precision, cache=cache)
+    return TersoffProduction(params, precision=precision, cache=cache, backend=backend)
 
 
 def make_scalar_optimized(params: TersoffParams, *, kmax: int = 8) -> Potential:

@@ -241,6 +241,12 @@ class TersoffProduction(PipelinePotential):
         Step-persistent interaction cache (default on).  ``False``
         stages through an ephemeral cache per call; results are
         bit-for-bit identical either way.
+    backend:
+        Compute-backend name from :mod:`repro.backends` (``"numpy"``,
+        ``"compiled"``) or ``None`` for the process default
+        (``numpy`` unless ``repro.backends.set_default`` changed it).
+        An unavailable backend falls back to ``numpy`` with a one-time
+        warning; the staging/cache machinery is identical either way.
     """
 
     needs_full_list = True
@@ -251,11 +257,22 @@ class TersoffProduction(PipelinePotential):
         *,
         precision: Precision | str = Precision.DOUBLE,
         cache: bool = True,
+        backend: str | None = None,
     ):
+        # function-level import: repro.backends registers kernel
+        # factories that import this module, so the dependency edge
+        # must stay call-time to remain cycle-free
+        from repro.backends import resolve
+
         self.params = params
         self.precision = Precision.parse(precision)
         self.cutoff = params.max_cutoff
-        super().__init__(TersoffKernel(params, self.precision), cache=cache)
+        self.backend = resolve(backend)
+        super().__init__(self.backend.tersoff_kernel(params, self.precision), cache=cache)
+
+    @property
+    def backend_name(self) -> str:
+        return self.backend.name
 
     def validate(self, system) -> None:
         if system.species != self.params.species:

@@ -34,7 +34,10 @@ class StageTimers:
     synchronization/imbalance wait — *measured*, not modeled) and
     ``reduce`` (the host's fixed rank-order force reduction); on the
     engine path ``pair``/``prepare``/``neighbor`` report the busiest
-    worker's critical-path seconds.
+    worker's critical-path seconds.  ``warmup`` is one-time backend
+    preparation (C extension build/load, JIT compilation) reported by
+    compiled kernels on their first call — keeping it out of ``pair``
+    keeps per-step medians honest.
     """
 
     pair: float = 0.0
@@ -43,13 +46,14 @@ class StageTimers:
     integrate: float = 0.0
     comm: float = 0.0
     reduce: float = 0.0
+    warmup: float = 0.0
     other: float = 0.0
 
     @property
     def total(self) -> float:
         return (
             self.pair + self.prepare + self.neighbor + self.integrate
-            + self.comm + self.reduce + self.other
+            + self.comm + self.reduce + self.warmup + self.other
         )
 
     def as_dict(self) -> dict[str, float]:
@@ -60,6 +64,7 @@ class StageTimers:
             "integrate": self.integrate,
             "comm": self.comm,
             "reduce": self.reduce,
+            "warmup": self.warmup,
             "other": self.other,
             "total": self.total,
         }
@@ -121,8 +126,14 @@ class Simulation:
         Morton-order rank-local atoms on the parallel path (locality
         optimization; permutes accumulation order, so leave off when
         bitwise equality with the serial path matters).
+    executor:
+        Execution backend for the pool: ``"serial"``, ``"fork"``,
+        ``"spawn"``, ``"forkserver"``, ``"process"``, or an
+        :class:`~repro.parallel.executor.EngineExecutor` instance
+        (default: process pool via fork where available).  Bitwise
+        identical physics across executors.
     start_method:
-        ``multiprocessing`` start method for the pool (default: fork
+        Back-compat alias for ``executor="<method>"`` (default: fork
         where available).
     """
 
@@ -137,6 +148,7 @@ class Simulation:
         workers: int | None = None,
         ranks: int | None = None,
         sort: bool = False,
+        executor=None,
         start_method: str | None = None,
     ):
         self.system = system
@@ -166,6 +178,7 @@ class Simulation:
                     cutoff=neighbor.cutoff, skin=neighbor.skin, full=True
                 ),
                 sort=sort,
+                executor=executor,
                 start_method=start_method,
             )
 
@@ -213,10 +226,14 @@ class Simulation:
         result = self.potential.compute(self.system, self.neigh)
         self.system.f[:] = result.forces
         elapsed = time.perf_counter() - t1
-        staging = float(result.stats.get("timing", {}).get("staging_s", 0.0))
+        timing = result.stats.get("timing", {})
+        staging = float(timing.get("staging_s", 0.0))
         staging = min(max(staging, 0.0), elapsed)
+        warmup = float(timing.get("warmup_s", 0.0))
+        warmup = min(max(warmup, 0.0), elapsed - staging)
         self.timers.prepare += staging
-        self.timers.pair += elapsed - staging
+        self.timers.warmup += warmup
+        self.timers.pair += elapsed - staging - warmup
         self.last_result = result
         return result
 
@@ -238,11 +255,15 @@ class Simulation:
         prepare = tm["staging_s"]
         pair = tm["kernel_s"]
         reduce_s = tm["reduce_s"]
+        warmup = tm.get("warmup_s", 0.0)
         self.timers.neighbor += neighbor
         self.timers.prepare += prepare
         self.timers.pair += pair
         self.timers.reduce += reduce_s
-        self.timers.comm += max(elapsed - (neighbor + prepare + pair + reduce_s), 0.0)
+        self.timers.warmup += warmup
+        self.timers.comm += max(
+            elapsed - (neighbor + prepare + pair + reduce_s + warmup), 0.0
+        )
         stats: dict = {
             "parallel": {
                 "workers": self.engine.workers,

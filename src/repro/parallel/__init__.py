@@ -28,6 +28,14 @@ from repro.parallel.comm import (
 from repro.parallel.decomposition import DomainDecomposition, RankDomain
 from repro.parallel.cluster import ClusterSpec, DistributedRun
 from repro.parallel.engine import EngineError, EngineStep, ParallelEngine, WorkerCrash
+from repro.parallel.executor import (
+    EngineExecutor,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    WorkerFailure,
+    make_executor,
+)
 
 __all__ = [
     "ClusterSpec",
@@ -35,12 +43,18 @@ __all__ = [
     "DistributedRun",
     "DomainDecomposition",
     "EngineError",
+    "EngineExecutor",
     "EngineStep",
+    "ExecutorError",
     "INFINIBAND_FDR",
     "INTRA_NODE",
     "NetworkModel",
     "PCIE_GEN2",
     "ParallelEngine",
+    "ProcessExecutor",
     "RankDomain",
+    "SerialExecutor",
     "WorkerCrash",
+    "WorkerFailure",
+    "make_executor",
 ]

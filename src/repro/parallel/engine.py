@@ -43,14 +43,8 @@ from __future__ import annotations
 
 import copy
 import itertools
-import multiprocessing as mp
-import os
 import time
-import traceback
-import uuid
-import weakref
 from dataclasses import dataclass, field
-from multiprocessing import shared_memory
 
 import numpy as np
 
@@ -61,6 +55,12 @@ from repro.md.box import Box
 from repro.md.neighbor import NeighborList, NeighborSettings
 from repro.md.potential import Potential
 from repro.parallel.decomposition import DomainDecomposition, blank_ghost_rows
+from repro.parallel.executor import (
+    EngineExecutor,
+    ExecutorError,
+    WorkerFailure,
+    make_executor,
+)
 
 
 class EngineError(RuntimeError):
@@ -123,6 +123,7 @@ def _step_ranks(states: dict, X: np.ndarray, F: np.ndarray, box: Box) -> list[di
         F[rank, :m, :] = res.forces
         timing = res.stats.get("timing", {})
         staging = min(max(float(timing.get("staging_s", 0.0)), 0.0), t2 - t1)
+        warmup = min(max(float(timing.get("warmup_s", 0.0)), 0.0), (t2 - t1) - staging)
         out.append({
             "rank": rank,
             "energy": res.energy,
@@ -130,7 +131,8 @@ def _step_ranks(states: dict, X: np.ndarray, F: np.ndarray, box: Box) -> list[di
             "rebuilt": rebuilt,
             "neighbor_s": t1 - t0,
             "staging_s": staging,
-            "kernel_s": (t2 - t1) - staging,
+            "warmup_s": warmup,
+            "kernel_s": (t2 - t1) - staging - warmup,
             "total_s": t2 - t0,
             "cache": res.stats.get("cache"),
             "pairs_in_cutoff": res.stats.get("pairs_in_cutoff"),
@@ -138,118 +140,113 @@ def _step_ranks(states: dict, X: np.ndarray, F: np.ndarray, box: Box) -> list[di
     return out
 
 
-def _worker_main(
-    conn,
-    worker_id: int,
-    shm_x_name: str,
-    shm_f_name: str,
-    n_atoms: int,
-    n_ranks: int,
-    box: Box,
-    mass: np.ndarray,
-    species: tuple,
-    potential: Potential,
-    settings: NeighborSettings,
-) -> None:
-    """Worker process loop: attach shared memory, serve step requests."""
-    # attach only — the host owns both segments and alone unlinks them.
-    # Workers share the host's resource-tracker process (fork inherits
-    # it, spawn passes its fd), and tracker registration is
-    # set-idempotent, so the attach-side auto-register is harmless.
-    shm_x = shared_memory.SharedMemory(name=shm_x_name)
-    shm_f = shared_memory.SharedMemory(name=shm_f_name)
-    X = np.ndarray((n_atoms, 3), dtype=np.float64, buffer=shm_x.buf)
-    F = np.ndarray((n_ranks, n_atoms, 3), dtype=np.float64, buffer=shm_f.buf)
-    states: dict[int, _RankState] = {}
-    try:
-        while True:
-            msg = conn.recv()
-            cmd = msg[0]
-            if cmd == "exit":
-                break
-            try:
-                if cmd == "ranks":
-                    # new decomposition generation: refresh topology but
-                    # keep each rank's potential (and its interaction
-                    # cache / workspace) alive across generations.
-                    for payload in msg[1]:
-                        rank = payload["rank"]
-                        local_idx = payload["local_idx"]
-                        prev = states.get(rank)
-                        states[rank] = _RankState(
-                            rank=rank,
-                            local_idx=local_idx,
-                            n_owned=payload["n_owned"],
-                            system=AtomSystem(
-                                box=box,
-                                x=np.zeros((local_idx.shape[0], 3), dtype=np.float64),
-                                type=payload["types"],
-                                mass=mass,
-                                species=species,
-                            ),
-                            neigh=prev.neigh if prev is not None else NeighborList(settings),
-                            potential=prev.potential if prev is not None
-                            else copy.deepcopy(potential),
-                        )
-                    for rank in [r for r in states if r not in {p["rank"] for p in msg[1]}]:
-                        del states[rank]
-                    conn.send(("ok", None))
-                elif cmd == "step":
-                    conn.send(("ok", _step_ranks(states, X, F, box)))
-                elif cmd == "listrefs":
-                    # checkpoint support: each rank's last list-build
-                    # positions, so a restart can rebuild the *same* list
-                    refs = {}
-                    for rank, st in states.items():
-                        xr = st.neigh._x_ref
-                        refs[rank] = None if xr is None else xr.copy()
-                    conn.send(("ok", refs))
-                elif cmd == "warm":
-                    # restart support: rebuild each rank's list at its
-                    # checkpointed reference positions (not the current
-                    # ones) so topology, pair order and future rebuild
-                    # decisions match the uninterrupted run bitwise.
-                    for payload in msg[1]:
-                        st = states[payload["rank"]]
-                        st.neigh.build(payload["x_ref"], box)
-                        blank_ghost_rows(st.neigh, st.n_owned)
-                        st.force_rebuild = False
-                    conn.send(("ok", None))
-                else:
-                    conn.send(("error", f"unknown command {cmd!r}"))
-            except Exception:
-                conn.send(("error", traceback.format_exc()))
-    except (EOFError, KeyboardInterrupt):
-        pass
-    finally:
-        del X, F
-        shm_x.close()
-        shm_f.close()
+class WorkerHost:
+    """One worker's long-lived state, commands served via :meth:`handle`.
+
+    This is the executor-agnostic half of the old worker loop: it owns
+    the per-rank states and the views into the shared position/force
+    arrays, and knows nothing about pipes, processes or shared-memory
+    lifecycle — :mod:`repro.parallel.executor` supplies those.  With
+    the :class:`~repro.parallel.executor.SerialExecutor` these hosts
+    simply live in the engine's own process.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        F: np.ndarray,
+        box: Box,
+        mass: np.ndarray,
+        species: tuple,
+        potential: Potential,
+        settings: NeighborSettings,
+    ):
+        self.X = X
+        self.F = F
+        self.box = box
+        self.mass = mass
+        self.species = species
+        self.potential = potential
+        self.settings = settings
+        self.states: dict[int, _RankState] = {}
+
+    def handle(self, cmd: str, payload):
+        if cmd == "ranks":
+            return self._set_ranks(payload)
+        if cmd == "step":
+            return _step_ranks(self.states, self.X, self.F, self.box)
+        if cmd == "listrefs":
+            # checkpoint support: each rank's last list-build positions,
+            # so a restart can rebuild the *same* list
+            refs = {}
+            for rank, st in self.states.items():
+                xr = st.neigh._x_ref
+                refs[rank] = None if xr is None else xr.copy()
+            return refs
+        if cmd == "warm":
+            return self._warm(payload)
+        raise ValueError(f"unknown command {cmd!r}")
+
+    def _set_ranks(self, payloads: list[dict]) -> None:
+        # new decomposition generation: refresh topology but keep each
+        # rank's potential (and its interaction cache / workspace)
+        # alive across generations.
+        for payload in payloads:
+            rank = payload["rank"]
+            local_idx = payload["local_idx"]
+            prev = self.states.get(rank)
+            self.states[rank] = _RankState(
+                rank=rank,
+                local_idx=local_idx,
+                n_owned=payload["n_owned"],
+                system=AtomSystem(
+                    box=self.box,
+                    x=np.zeros((local_idx.shape[0], 3), dtype=np.float64),
+                    type=payload["types"],
+                    mass=self.mass,
+                    species=self.species,
+                ),
+                neigh=prev.neigh if prev is not None else NeighborList(self.settings),
+                potential=prev.potential if prev is not None
+                else copy.deepcopy(self.potential),
+            )
+        for rank in [r for r in self.states if r not in {p["rank"] for p in payloads}]:
+            del self.states[rank]
+
+    def _warm(self, payloads: list[dict]) -> None:
+        # restart support: rebuild each rank's list at its checkpointed
+        # reference positions (not the current ones) so topology, pair
+        # order and future rebuild decisions match the uninterrupted
+        # run bitwise.
+        for payload in payloads:
+            st = self.states[payload["rank"]]
+            st.neigh.build(payload["x_ref"], self.box)
+            blank_ghost_rows(st.neigh, st.n_owned)
+            st.force_rebuild = False
 
 
-def _cleanup(procs, conns, shms) -> None:
-    """Finalizer: tear the pool down and unlink shared memory."""
-    for conn in conns:
-        try:
-            conn.send(("exit",))
-        except (OSError, ValueError, BrokenPipeError):
-            pass
-    for p in procs:
-        p.join(timeout=3.0)
-        if p.is_alive():  # pragma: no cover - stuck worker safety net
-            p.terminate()
-            p.join(timeout=1.0)
-    for conn in conns:
-        try:
-            conn.close()
-        except OSError:  # pragma: no cover
-            pass
-    for shm in shms:
-        try:
-            shm.close()
-            shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
+@dataclass
+class _HostFactory:
+    """Picklable recipe an executor uses to build one :class:`WorkerHost`.
+
+    Spawn-method pools pickle this into each worker; everything captured
+    here (box, masses, the template potential, neighbor settings) must
+    therefore pickle — the same contract the engine always had.
+    """
+
+    n_atoms: int
+    n_ranks: int
+    box: Box
+    mass: np.ndarray
+    species: tuple
+    potential: Potential
+    settings: NeighborSettings
+
+    def __call__(self, arrays) -> WorkerHost:
+        X = arrays["x"]
+        F = arrays["f"]
+        return WorkerHost(X, F, self.box, self.mass, self.species,
+                          self.potential, self.settings)
 
 
 @dataclass
@@ -305,9 +302,17 @@ class ParallelEngine:
         change).
     grid:
         Explicit process grid (default: LAMMPS-style near-cubic).
+    executor:
+        Execution backend: ``"serial"`` (in-process, no subprocesses),
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"`` (process pool with
+        that start method), ``"process"`` (process pool, platform
+        default method), or a ready :class:`EngineExecutor` instance.
+        Default: process pool via fork where available.  The physics is
+        bitwise identical across executors — they only move where the
+        rank evaluations run.
     start_method:
-        ``multiprocessing`` start method; default ``"fork"`` where
-        available (fast, nothing pickled), else ``"spawn"``.
+        Back-compat alias for ``executor="<method>"``; ``fork`` where
+        available (fast, nothing pickled), else ``spawn``.
     """
 
     def __init__(
@@ -320,6 +325,7 @@ class ParallelEngine:
         neighbor: NeighborSettings | None = None,
         sort: bool = False,
         grid: tuple[int, int, int] | None = None,
+        executor: "str | EngineExecutor | None" = None,
         start_method: str | None = None,
     ):
         if workers < 1:
@@ -348,38 +354,24 @@ class ParallelEngine:
         self._closed = False
 
         n = system.n
-        if start_method is None:
-            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-        ctx = mp.get_context(start_method)
-        token = uuid.uuid4().hex[:12]
-        self._shm_x = shared_memory.SharedMemory(
-            create=True, size=max(n * 3 * 8, 8), name=f"repro_eng_{os.getpid()}_{token}_x")
-        self._shm_f = shared_memory.SharedMemory(
-            create=True, size=max(ranks * n * 3 * 8, 8), name=f"repro_eng_{os.getpid()}_{token}_f")
-        self._X = np.ndarray((n, 3), dtype=np.float64, buffer=self._shm_x.buf)
-        self._F = np.ndarray((ranks, n, 3), dtype=np.float64, buffer=self._shm_f.buf)
-        self._conns = []
-        self._procs = []
         try:
-            for w in range(self.workers):
-                host_conn, worker_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(worker_conn, w, self._shm_x.name, self._shm_f.name, n, ranks,
-                          system.box, system.mass.copy(), system.species,
-                          potential, self.settings),
-                    daemon=True,
-                    name=f"repro-engine-{w}",
-                )
-                proc.start()
-                worker_conn.close()
-                self._conns.append(host_conn)
-                self._procs.append(proc)
-        except Exception:
-            _cleanup(self._procs, self._conns, (self._shm_x, self._shm_f))
-            raise
-        self._finalizer = weakref.finalize(
-            self, _cleanup, self._procs, self._conns, (self._shm_x, self._shm_f))
+            self._exec = make_executor(
+                executor, workers=self.workers, start_method=start_method)
+        except ExecutorError as exc:
+            raise EngineError(str(exc)) from exc
+        # a ready-made executor fixes the pool size; follow it (still
+        # never more submit targets than ranks)
+        self.workers = min(self._exec.workers, ranks)
+        views = self._exec.start(
+            _HostFactory(
+                n_atoms=n, n_ranks=ranks, box=system.box,
+                mass=system.mass.copy(), species=system.species,
+                potential=potential, settings=self.settings,
+            ),
+            {"x": ((n, 3), "float64"), "f": ((ranks, n, 3), "float64")},
+        )
+        self._X = views["x"]
+        self._F = views["f"]
 
     # -- decomposition lifecycle --------------------------------------------------
 
@@ -420,21 +412,22 @@ class ParallelEngine:
                 "n_owned": dom.n_owned,
                 "types": dom.local_system.type,
             })
-        for conn, payload in zip(self._conns, payloads):
-            conn.send(("ranks", payload))
-        for w, conn in enumerate(self._conns):
-            self._recv(w, conn)
+        self._dispatch("ranks", payloads)
 
-    def _recv(self, worker: int, conn):
+    def _dispatch(self, cmd: str, payloads: list | None = None) -> list:
+        """Send `cmd` to every worker, collect replies in worker order."""
+        futs = [
+            self._exec.submit(w, cmd, None if payloads is None else payloads[w])
+            for w in range(self.workers)
+        ]
+        return [self._result(w, fut) for w, fut in enumerate(futs)]
+
+    def _result(self, worker: int, fut):
         try:
-            reply = conn.recv()
-        except (EOFError, ConnectionResetError) as exc:
+            return fut.result()
+        except WorkerFailure as exc:
             self.close()
-            raise WorkerCrash(worker, f"worker process died: {exc!r}") from exc
-        if reply[0] == "error":
-            self.close()
-            raise WorkerCrash(worker, reply[1])
-        return reply[1]
+            raise WorkerCrash(exc.worker, exc.remote_traceback) from exc
 
     # -- the hot loop -------------------------------------------------------------
 
@@ -449,10 +442,9 @@ class ParallelEngine:
             self._decompose(x)
         t1 = time.perf_counter()
         self._X[:] = x
-        for conn in self._conns:
-            conn.send(("step",))
+        futs = [self._exec.submit(w, "step") for w in range(self.workers)]
         t2 = time.perf_counter()
-        per_worker = [self._recv(w, conn) for w, conn in enumerate(self._conns)]
+        per_worker = [self._result(w, fut) for w, fut in enumerate(futs)]
         t3 = time.perf_counter()
         per_rank = sorted(itertools.chain.from_iterable(per_worker), key=lambda r: r["rank"])
         # fixed rank-order reduction — the determinism contract: same
@@ -471,12 +463,18 @@ class ParallelEngine:
         busy = per_worker[busiest] if per_worker else []
         wait_s = t3 - t2
         busy_total = worker_totals[busiest] if worker_totals else 0.0
+        # dispatch + synchronization overhead = everything in the
+        # dispatch/collect window that was not the busiest worker's
+        # compute.  With the serial executor the compute happens inside
+        # the submit calls (t2 - t1), so the formula must look at the
+        # whole window before subtracting, not clamp per phase.
         timers = {
             "decompose_s": t1 - t0,
-            "comm_s": (t2 - t1) + max(wait_s - busy_total, 0.0),
+            "comm_s": max((t2 - t1) + wait_s - busy_total, 0.0),
             "reduce_s": t4 - t3,
             "neighbor_s": sum(r["neighbor_s"] for r in busy),
             "staging_s": sum(r["staging_s"] for r in busy),
+            "warmup_s": sum(r.get("warmup_s", 0.0) for r in busy),
             "kernel_s": sum(r["kernel_s"] for r in busy),
             "wait_s": wait_s,
             "busy_s": busy_total,
@@ -512,11 +510,9 @@ class ParallelEngine:
             raise EngineError("engine is closed")
         if self._dd is None:
             return None
-        for conn in self._conns:
-            conn.send(("listrefs",))
         rank_refs: dict[int, np.ndarray | None] = {}
-        for w, conn in enumerate(self._conns):
-            rank_refs.update(self._recv(w, conn))
+        for refs in self._dispatch("listrefs"):
+            rank_refs.update(refs)
         return {
             "ranks": self.ranks,
             "sort": self.sort,
@@ -552,10 +548,7 @@ class ParallelEngine:
             payloads[self._worker_of(int(rank))].append(
                 {"rank": int(rank), "x_ref": np.ascontiguousarray(x_ref, dtype=np.float64)}
             )
-        for conn, payload in zip(self._conns, payloads):
-            conn.send(("warm", payload))
-        for w, conn in enumerate(self._conns):
-            self._recv(w, conn)
+        self._dispatch("warm", payloads)
         self.generation = int(state["generation"])
         self.steps = int(state["steps"])
         self.rebuild_steps = int(state["rebuild_steps"])
@@ -600,11 +593,14 @@ class ParallelEngine:
         })
         if self.last_step is not None:
             rank_s = [r["total_s"] for r in self.last_step.per_rank]
-            wait = self.last_step.timers["wait_s"]
+            # the synchronization wall: host wait for process executors,
+            # the busiest worker's busy time when the work ran inline
+            # (serial executor, where wait is ~0 by construction)
+            wall = max(self.last_step.timers["wait_s"], self.last_step.timers["busy_s"])
             summary.update({
                 "rank_seconds": rank_s,
                 "imbalance_measured": float(max(rank_s) / max(np.mean(rank_s), 1e-300)),
-                "parallel_efficiency": float(sum(rank_s) / max(self.workers * wait, 1e-300)),
+                "parallel_efficiency": float(sum(rank_s) / max(self.workers * wall, 1e-300)),
             })
         return summary
 
@@ -615,12 +611,11 @@ class ParallelEngine:
         return self._closed
 
     def close(self) -> None:
-        """Shut the pool down and unlink shared memory.  Idempotent."""
+        """Shut the executor down (pool + shared memory).  Idempotent."""
         if self._closed:
             return
         self._closed = True
-        self._finalizer.detach()
-        _cleanup(self._procs, self._conns, (self._shm_x, self._shm_f))
+        self._exec.shutdown()
 
     def __enter__(self) -> "ParallelEngine":
         return self

@@ -60,6 +60,17 @@ class ArtifactError(ValueError):
     """Malformed, unreadable, or incompatible benchmark artifact."""
 
 
+class CaseSkipped(Exception):
+    """Raised by a case's ``setup`` when its prerequisites are absent.
+
+    A skipped case (e.g. a compiled-backend case on a host with no C
+    toolchain and no numba) is recorded in the artifact's ``skipped``
+    section instead of ``results`` and never gates a comparison — it
+    shows up as ``missing`` with the skip reason, like a case removed
+    from the suite.
+    """
+
+
 class SchemaMismatchError(ArtifactError):
     """Artifact written by an incompatible schema version."""
 
@@ -144,18 +155,32 @@ def run_suite(
     warmup: int = DEFAULT_WARMUP,
     min_time: float = DEFAULT_MIN_TIME_S,
     max_repeats: int = DEFAULT_MAX_REPEATS,
+    backend: str | None = None,
     progress=None,
 ) -> dict:
-    """Run the curated suite and return the artifact dict."""
+    """Run the curated suite and return the artifact dict.
+
+    ``backend`` sets the process-default compute backend for the run
+    (``repro bench run --backend``); cases that pin their own backend
+    (the ``-backend-*`` cases) are unaffected.
+    """
+    if backend is not None:
+        from repro.backends import set_default
+
+        set_default(backend)
     cases = get_suite(smoke=smoke, filter=filter)
     if not cases:
         raise ArtifactError(f"no benchmark cases match filter={filter!r}")
     results = {}
+    skipped = {}
     for case in cases:
         if progress is not None:
             progress(case.name)
-        results[case.name] = run_case(case, repeats=repeats, warmup=warmup,
-                                      min_time=min_time, max_repeats=max_repeats)
+        try:
+            results[case.name] = run_case(case, repeats=repeats, warmup=warmup,
+                                          min_time=min_time, max_repeats=max_repeats)
+        except CaseSkipped as exc:
+            skipped[case.name] = str(exc)
     now = time.time()
     return {
         "schema_version": SCHEMA_VERSION,
@@ -163,9 +188,11 @@ def run_suite(
         "created": time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(now)),
         "smoke": smoke,
         "config": {"repeats": repeats, "warmup": warmup, "filter": filter,
-                   "min_time": min_time, "max_repeats": max_repeats},
+                   "min_time": min_time, "max_repeats": max_repeats,
+                   "backend": backend},
         "machine": host_fingerprint(),
         "results": results,
+        "skipped": skipped,
     }
 
 
@@ -287,9 +314,12 @@ def compare(
                 note="no baseline entry"))
             continue
         if cur is None:
+            skip_reason = current.get("skipped", {}).get(name)
+            note = (f"skipped: {skip_reason}" if skip_reason
+                    else "case absent from current run")
             comparison.cases.append(CaseComparison(
                 name, "missing", base.get("tier", "warn"), base["median_s"], None,
-                note="case absent from current run"))
+                note=note))
             continue
         tier = cur.get("tier", base.get("tier", "hard"))
         time_tier, time_note = tier, ""

@@ -232,6 +232,40 @@ _kernel_case("kernel/production-512-cache-off", lambda p: _prod(p, cache=False),
              tier="warn")
 
 
+# Compute-backend contrast pair: the same 512-atom production workload
+# through the numpy kernel and the compiled (C-extension) kernel.  Their
+# ratio is the measured backend speedup (ROADMAP item 2; ≥3x on the
+# reference host).  The compiled case raises CaseSkipped from setup when
+# no toolchain is available — the artifact records the reason and the
+# gate treats it as non-gating "missing", so CI without a compiler
+# stays green.
+def _backend_kernel_case(backend: str, *, tier: str) -> None:
+    def setup() -> Callable[[], Any]:
+        from repro import backends
+        from repro.perf.regress import CaseSkipped
+
+        if not backends.is_available(backend):
+            reason = backends.available().get(backend) or "unavailable"
+            raise CaseSkipped(f"backend {backend!r} unavailable: {reason}")
+        from repro.core.tersoff.production import TersoffProduction
+
+        params, system, neigh = si_workload(4)
+        pot = TersoffProduction(params, cache=True, backend=backend)
+        thunk = lambda: pot.compute(system, neigh)  # noqa: E731
+        thunk()  # warm outside the timed region (JIT/dlopen for compiled)
+        return thunk
+
+    register(BenchCase(
+        name=f"kernel/production-512-backend-{backend}",
+        setup=setup,
+        tier=tier,
+    ))
+
+
+_backend_kernel_case("numpy", tier="hard")
+_backend_kernel_case("compiled", tier="hard")
+
+
 # The pipeline's pair-potential contrast case: vectorized LJ on its own
 # longer-cutoff list, step-persistent lane layout enabled (unfiltered
 # kernels hit the cache on every same-version call).
@@ -430,6 +464,38 @@ for _w in (1, 2, 4):
         tier="hard" if _w == 1 else "warn",
         extra=_md_workers_extra,
     ))
+
+
+# The compiled backend on a full 2048-atom timestep: end-to-end MD
+# speedup, not just the bare kernel.  The setup's compute_forces() call
+# absorbs the one-time engine preparation (and StageTimers books it
+# under ``warmup``), so the timed medians are steady-state steps.
+def _md_backend_setup(backend: str) -> Callable[[], Any]:
+    from repro import backends
+    from repro.core.tersoff.production import TersoffProduction
+    from repro.md.lattice import seeded_velocities
+    from repro.md.neighbor import NeighborSettings
+    from repro.md.simulation import Simulation
+    from repro.perf.regress import CaseSkipped
+
+    if not backends.is_available(backend):
+        reason = backends.available().get(backend) or "unavailable"
+        raise CaseSkipped(f"backend {backend!r} unavailable: {reason}")
+    params, system = _parallel_workload()
+    sys2 = system.copy()
+    seeded_velocities(sys2, 300.0, seed=3)
+    sim = Simulation(sys2, TersoffProduction(params, cache=True, backend=backend),
+                     neighbor=NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
+    sim.compute_forces()
+    return lambda: (sim.run(1), sim)[1]
+
+
+register(BenchCase(
+    name="md/step-2048-backend-compiled",
+    setup=lambda: _md_backend_setup("compiled"),
+    tier="warn",
+    extra=_md_step_extra,
+))
 
 
 # ---- parallel/* : decomposition data plane ----------------------------------

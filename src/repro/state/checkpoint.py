@@ -264,6 +264,7 @@ def restore_simulation(
     potential: Potential,
     *,
     workers: int | None = None,
+    executor=None,
     start_method: str | None = None,
 ):
     """Rebuild a :class:`~repro.md.simulation.Simulation` from `ck`.
@@ -301,6 +302,7 @@ def restore_simulation(
             workers=int(engine_meta["workers"]) if workers is None else int(workers),
             ranks=int(engine_meta["ranks"]),
             sort=bool(engine_meta["sort"]),
+            executor=executor,
             start_method=start_method,
         )
         if engine_meta.get("warm"):

@@ -1,0 +1,248 @@
+"""EngineExecutor conformance: one contract, three implementations.
+
+Every executor (serial, fork-pool, spawn-pool) must satisfy identical
+semantics — named shared arrays visible on both sides, per-worker FIFO
+ordering, host exceptions surfaced as :class:`WorkerFailure` carrying
+the remote traceback, idempotent shutdown — so the parallel engine's
+physics cannot depend on which one is plugged in.
+"""
+
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.parallel.executor import (
+    EngineExecutor,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    WorkerFailure,
+    make_executor,
+)
+
+HAVE_FORK = "fork" in mp.get_all_start_methods()
+
+
+class EchoHost:
+    """Minimal host exercising every conformance axis."""
+
+    def __init__(self, arrays):
+        self.arrays = arrays
+        self.calls = 0
+
+    def handle(self, cmd, payload):
+        self.calls += 1
+        if cmd == "echo":
+            return (payload, self.calls)
+        if cmd == "boom":
+            raise ValueError("intentional kaboom")
+        if cmd == "write":
+            slot, value = payload
+            self.arrays["data"][slot] = value
+            return None
+        if cmd == "read":
+            return float(self.arrays["data"][payload])
+        if cmd == "pid":
+            return os.getpid()
+        if cmd == "die":  # simulate a hard crash (no reply ever comes)
+            os._exit(3)
+        raise KeyError(cmd)
+
+
+class EchoFactory:
+    """Module-level factory: picklable, as the spawn pool requires."""
+
+    def __call__(self, arrays):
+        return EchoHost(arrays)
+
+
+EXECUTORS = ["serial", "spawn"] + (["fork"] if HAVE_FORK else [])
+
+
+@pytest.fixture(params=EXECUTORS)
+def started(request):
+    """(executor, caller-side views) for each implementation, started
+    with two workers and one 4-slot shared array."""
+    if request.param == "serial":
+        ex = SerialExecutor(2)
+    else:
+        ex = ProcessExecutor(2, start_method=request.param)
+    views = ex.start(EchoFactory(), {"data": ((4,), "float64")})
+    yield ex, views
+    ex.shutdown()
+
+
+class TestConformance:
+    def test_satisfies_protocol(self, started):
+        ex, _ = started
+        assert isinstance(ex, EngineExecutor)
+        assert ex.workers == 2
+
+    def test_views_shape_dtype_zeroed(self, started):
+        _, views = started
+        assert set(views) == {"data"}
+        assert views["data"].shape == (4,) and views["data"].dtype == np.float64
+        assert np.all(views["data"] == 0.0)
+
+    def test_echo_roundtrip(self, started):
+        ex, _ = started
+        value, calls = ex.submit(0, "echo", {"k": [1, 2]}).result()
+        assert value == {"k": [1, 2]}
+        assert calls == 1
+
+    def test_per_worker_fifo_ordering(self, started):
+        """Commands execute in submission order even when the caller
+        collects the futures in reverse."""
+        ex, _ = started
+        futs = [ex.submit(0, "echo", i) for i in range(5)]
+        last_payload, last_calls = futs[-1].result()  # drains everything before it
+        assert (last_payload, last_calls) == (4, 5)
+        for i, fut in enumerate(futs):
+            assert fut.done()
+            assert fut.result() == (i, i + 1)
+
+    def test_host_state_is_per_worker(self, started):
+        ex, _ = started
+        ex.submit(0, "echo").result()
+        ex.submit(0, "echo").result()
+        _, calls_w1 = ex.submit(1, "echo").result()
+        assert calls_w1 == 1  # worker 1's host never saw worker 0's commands
+
+    def test_shared_array_worker_to_caller(self, started):
+        ex, views = started
+        ex.submit(0, "write", (1, 4.5)).result()
+        ex.submit(1, "write", (2, -7.25)).result()
+        assert views["data"][1] == 4.5 and views["data"][2] == -7.25
+
+    def test_shared_array_caller_to_worker(self, started):
+        ex, views = started
+        views["data"][3] = 9.125
+        assert ex.submit(0, "read", 3).result() == 9.125
+        assert ex.submit(1, "read", 3).result() == 9.125
+
+    def test_host_exception_becomes_worker_failure(self, started):
+        ex, _ = started
+        fut = ex.submit(1, "boom")
+        with pytest.raises(WorkerFailure, match="intentional kaboom") as exc_info:
+            fut.result()
+        assert exc_info.value.worker == 1
+        assert "ValueError" in exc_info.value.remote_traceback
+        # the host survives its own exception; the worker stays usable
+        assert ex.submit(1, "echo", "still alive").result()[0] == "still alive"
+
+    def test_exception_accessor(self, started):
+        ex, _ = started
+        exc = ex.submit(0, "boom").exception()
+        assert isinstance(exc, WorkerFailure)
+
+    def test_submit_after_shutdown_raises(self, started):
+        ex, _ = started
+        ex.shutdown()
+        with pytest.raises(ExecutorError):
+            ex.submit(0, "echo")
+
+    def test_shutdown_idempotent(self, started):
+        ex, _ = started
+        ex.shutdown()
+        ex.shutdown()
+
+    def test_start_twice_raises(self, started):
+        ex, _ = started
+        with pytest.raises(ExecutorError):
+            ex.start(EchoFactory(), {"data": ((4,), "float64")})
+
+
+class TestProcessSpecific:
+    @pytest.mark.parametrize("method", ["spawn"] + (["fork"] if HAVE_FORK else []))
+    def test_work_runs_out_of_process(self, method):
+        ex = ProcessExecutor(1, start_method=method)
+        try:
+            ex.start(EchoFactory(), {"data": ((1,), "float64")})
+            assert ex.submit(0, "pid").result() != os.getpid()
+        finally:
+            ex.shutdown()
+
+    def test_dead_worker_fails_its_futures(self):
+        method = "fork" if HAVE_FORK else "spawn"
+        ex = ProcessExecutor(2, start_method=method)
+        try:
+            ex.start(EchoFactory(), {"data": ((1,), "float64")})
+            dead = ex.submit(0, "die")
+            queued = ex.submit(0, "echo", "never")
+            with pytest.raises(WorkerFailure, match="worker process died"):
+                dead.result()
+            with pytest.raises(WorkerFailure):
+                queued.result()
+            # the other worker is unaffected
+            assert ex.submit(1, "echo", "ok").result()[0] == "ok"
+        finally:
+            ex.shutdown()
+
+    def test_serial_runs_in_process(self):
+        ex = SerialExecutor(1)
+        try:
+            ex.start(EchoFactory(), {"data": ((1,), "float64")})
+            assert ex.submit(0, "pid").result() == os.getpid()
+        finally:
+            ex.shutdown()
+
+
+class TestMakeExecutor:
+    def test_names(self):
+        assert isinstance(make_executor("serial", workers=2), SerialExecutor)
+        ex = make_executor("spawn", workers=2)
+        assert isinstance(ex, ProcessExecutor) and ex.start_method == "spawn"
+        assert isinstance(make_executor("process", workers=2), ProcessExecutor)
+        assert isinstance(make_executor(None, workers=2), ProcessExecutor)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExecutorError, match="unknown executor"):
+            make_executor("threads", workers=2)
+
+    def test_instance_passthrough(self):
+        inst = SerialExecutor(3)
+        assert make_executor(inst, workers=2) is inst
+
+    def test_instance_with_start_method_rejected(self):
+        with pytest.raises(ExecutorError, match="start_method"):
+            make_executor(SerialExecutor(1), workers=1, start_method="fork")
+
+    def test_conflicting_name_and_start_method_rejected(self):
+        with pytest.raises(ExecutorError, match="conflicting"):
+            make_executor("spawn", workers=1, start_method="forkserver")
+
+    def test_agreeing_name_and_start_method_ok(self):
+        ex = make_executor("spawn", workers=1, start_method="spawn")
+        assert isinstance(ex, ProcessExecutor) and ex.start_method == "spawn"
+
+    def test_bad_worker_counts(self):
+        with pytest.raises(ExecutorError):
+            SerialExecutor(0)
+        with pytest.raises(ExecutorError):
+            ProcessExecutor(0)
+
+
+class TestEngineAcrossExecutors:
+    def test_forces_bitwise_identical(self):
+        """The engine's physics must not depend on the executor."""
+        from repro.core.tersoff.parameters import tersoff_si
+        from repro.core.tersoff.production import TersoffProduction
+        from repro.md.lattice import diamond_lattice, perturbed
+        from repro.parallel.engine import ParallelEngine
+
+        system = perturbed(diamond_lattice(2, 2, 2), 0.1, seed=13)
+
+        def run(executor):
+            pot = TersoffProduction(tersoff_si())
+            with ParallelEngine(system.copy(), pot, workers=2, ranks=2,
+                                executor=executor) as eng:
+                step = eng.compute(system.x)
+                return step.energy, step.forces.copy()
+
+        results = [run(ex) for ex in ("serial", "spawn", *(("fork",) if HAVE_FORK else ()))]
+        e0, f0 = results[0]
+        for energy, forces in results[1:]:
+            assert energy == e0
+            assert np.array_equal(forces, f0)

@@ -211,11 +211,16 @@ class ExplodingPotential(Potential):
         return ForceResult(energy=0.0, forces=np.zeros((system.n, 3), dtype=np.float64))
 
 
+def shm_names(eng):
+    """Shared-memory segment names of the engine's process executor."""
+    return [seg.shm.name for seg in eng._exec._segments]
+
+
 class TestLifecycle:
     def test_worker_crash_raises_and_cleans_up(self):
         system = si_system()
         eng = ParallelEngine(system, ExplodingPotential(), workers=2, ranks=2)
-        names = [eng._shm_x.name, eng._shm_f.name]
+        names = shm_names(eng)
         eng.compute(system.x)
         with pytest.raises(WorkerCrash, match="kaboom"):
             eng.compute(system.x + 0.6)  # forces redecomp + fresh compute
@@ -230,14 +235,14 @@ class TestLifecycle:
     def test_close_is_idempotent_and_unlinks(self):
         system = si_system()
         eng = ParallelEngine(system, TersoffProduction(tersoff_si()), workers=2, ranks=2)
-        names = [eng._shm_x.name, eng._shm_f.name]
+        names = shm_names(eng)
         eng.compute(system.x)
         eng.close()
         eng.close()
         for name in names:
             with pytest.raises(FileNotFoundError):
                 shared_memory.SharedMemory(name=name)
-        for proc in eng._procs:
+        for proc in eng._exec._procs:
             assert not proc.is_alive()
 
     def test_workers_clamped_to_ranks(self):
