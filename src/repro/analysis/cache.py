@@ -1,0 +1,153 @@
+"""Content-hash result cache for the lint engine.
+
+The self-lint runs on every commit (pre-commit) and in CI; with twelve
+python rules plus the C pass it must stay well under the 10 s budget
+asserted in CI.  Since every rule is a pure function of a single
+module's source plus the static configuration, per-file caching is
+sound: a file whose content hash is unchanged under an unchanged
+analyzer yields byte-identical findings.
+
+The cache key has two levels:
+
+- a **global key** — a hash over (a) the analyzer sources themselves
+  (every ``repro/analysis/*.py`` file, so editing any rule invalidates
+  everything), (b) the enabled rule ids, and (c) the module
+  classification config.  A mismatch discards the whole cache.
+- a **per-file key** — the sha256 of the file content.  Paths are
+  repo-relative, so the cache survives checkout moves.
+
+Cached entries store post-suppression findings (kept + suppressed
+separately); the baseline is applied *after* cache replay, so updating
+the baseline never needs a cache flush.  Corrupt or version-skewed
+cache files are silently discarded — the cache can only ever cost a
+re-lint, never a wrong result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.rules import Finding
+
+CACHE_VERSION = 1
+DEFAULT_CACHE_NAME = ".repro-lint-cache.json"
+
+_salt_cache: str | None = None
+
+
+def analyzer_salt() -> str:
+    """Hash of the analyzer's own sources; memoized per process."""
+    global _salt_cache
+    if _salt_cache is None:
+        h = hashlib.sha256()
+        pkg = Path(__file__).resolve().parent
+        for src in sorted(pkg.glob("*.py")):
+            h.update(src.name.encode())
+            h.update(src.read_bytes())
+        _salt_cache = h.hexdigest()
+    return _salt_cache
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def make_global_key(enabled_rules: tuple[str, ...] | None, config_repr: str) -> str:
+    h = hashlib.sha256()
+    h.update(analyzer_salt().encode())
+    h.update(repr(sorted(enabled_rules)).encode() if enabled_rules else b"<all>")
+    h.update(config_repr.encode())
+    return h.hexdigest()
+
+
+def _finding_from_dict(d: dict) -> Finding:
+    return Finding(
+        rule=d["rule"],
+        path=d["path"],
+        line=d["line"],
+        col=d["col"],
+        message=d["message"],
+        code=d["code"],
+    )
+
+
+@dataclass
+class ResultCache:
+    """Per-file lint results keyed by content hash."""
+
+    path: Path
+    global_key: str
+    entries: dict[str, dict] = field(default_factory=dict)  # rel path -> entry
+    hits: int = 0
+    misses: int = 0
+    _dirty: bool = field(default=False, repr=False)
+
+    @classmethod
+    def load(cls, path: Path, global_key: str) -> "ResultCache":
+        cache = cls(path=path, global_key=global_key)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return cache
+        if (
+            not isinstance(data, dict)
+            or data.get("version") != CACHE_VERSION
+            or data.get("global_key") != global_key
+        ):
+            return cache
+        entries = data.get("entries")
+        if isinstance(entries, dict):
+            cache.entries = entries
+        return cache
+
+    def get(self, rel: str, digest: str) -> tuple[list[Finding], list[Finding]] | None:
+        """(findings, suppressed) for an unchanged file, else None."""
+        entry = self.entries.get(rel)
+        if not isinstance(entry, dict) or entry.get("hash") != digest:
+            self.misses += 1
+            return None
+        try:
+            findings = [_finding_from_dict(d) for d in entry["findings"]]
+            suppressed = [_finding_from_dict(d) for d in entry["suppressed"]]
+        except (KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return findings, suppressed
+
+    def put(
+        self,
+        rel: str,
+        digest: str,
+        findings: list[Finding],
+        suppressed: list[Finding],
+    ) -> None:
+        self.entries[rel] = {
+            "hash": digest,
+            "findings": [f.as_dict() for f in findings],
+            "suppressed": [f.as_dict() for f in suppressed],
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Atomic write (tmp + rename); failures are non-fatal."""
+        if not self._dirty:
+            return
+        payload = {
+            "version": CACHE_VERSION,
+            "global_key": self.global_key,
+            "entries": self.entries,
+        }
+        tmp = self.path.with_name(self.path.name + f".tmp{os.getpid()}")
+        try:
+            tmp.write_text(json.dumps(payload, sort_keys=True))
+            tmp.replace(self.path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass

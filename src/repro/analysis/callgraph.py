@@ -1,0 +1,129 @@
+"""Module-level call graph for the interprocedural rules.
+
+PR 3's rules were strictly intra-function: an allocation or an
+unguarded ``np.sqrt`` hidden behind a local helper was invisible to
+KA003/KA004, and the KB/KC/KD families need to see one level further
+still (an ``unlink`` living in a cleanup helper, a restore method
+delegating to ``self._decompose``).  This module resolves calls *within
+one module* so rules can look through exactly one level of helpers.
+
+Resolution is deliberately narrow — the same conservatism as the
+dataflow pass:
+
+- ``f(...)`` resolves when ``f`` is a module-level function def;
+- ``self.m(...)`` / ``cls.m(...)`` resolve when the caller is a method
+  of a class that defines ``m``;
+- everything else (imported names, attributes of attributes, dynamic
+  dispatch) stays unresolved and the rules remain silent about it.
+
+The graph also records *references* — a local function passed by name,
+e.g. the cleanup callback handed to ``weakref.finalize`` — because for
+lifecycle rules a function handed to a finalizer is as reachable as a
+function called directly.
+
+:meth:`CallGraph.reach` is cycle-tolerant (visited set), so recursive
+and mutually-recursive helpers terminate; depth is bounded (default one
+level) so the lint never becomes a fixpoint computation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.dataflow import FunctionInfo, walk_own
+
+
+@dataclass
+class CallSite:
+    """One resolved call: ``caller`` invokes ``callee`` at ``node``."""
+
+    node: ast.Call
+    caller: str
+    callee: str
+
+
+@dataclass
+class CallGraph:
+    """Resolved local calls/references between one module's functions."""
+
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    _calls: dict[str, list[CallSite]] = field(default_factory=dict)
+    _refs: dict[str, set[str]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, functions: list[FunctionInfo]) -> "CallGraph":
+        graph = cls(functions={f.qualname: f for f in functions})
+        for info in functions:
+            graph._index(info)
+        return graph
+
+    @staticmethod
+    def _class_prefix(qualname: str) -> str | None:
+        """``'C.m'`` -> ``'C'``; module-level functions have none."""
+        if "." not in qualname:
+            return None
+        return qualname.rsplit(".", 1)[0]
+
+    def resolve(self, caller: str, call: ast.Call) -> str | None:
+        """Qualified name of the local callee of ``call``, or ``None``."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in self.functions and "." not in func.id:
+                return func.id
+            return None
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+        ):
+            prefix = self._class_prefix(caller)
+            if prefix is not None:
+                candidate = f"{prefix}.{func.attr}"
+                if candidate in self.functions:
+                    return candidate
+        return None
+
+    def _index(self, info: FunctionInfo) -> None:
+        sites: list[CallSite] = []
+        refs: set[str] = set()
+        for node in walk_own(info.node):
+            if isinstance(node, ast.Call):
+                callee = self.resolve(info.qualname, node)
+                if callee is not None:
+                    sites.append(CallSite(node=node, caller=info.qualname, callee=callee))
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                # a module-level function referenced by name (callback,
+                # finalizer argument) — reachable without being called
+                if node.id in self.functions and "." not in node.id:
+                    refs.add(node.id)
+        self._calls[info.qualname] = sites
+        self._refs[info.qualname] = refs
+
+    def callsites(self, qualname: str) -> list[CallSite]:
+        """Resolved local calls made directly by ``qualname``."""
+        return self._calls.get(qualname, [])
+
+    def neighbors(self, qualname: str) -> set[str]:
+        """Directly called or referenced local functions."""
+        out = {s.callee for s in self._calls.get(qualname, [])}
+        out |= self._refs.get(qualname, set())
+        return out
+
+    def reach(self, qualname: str, depth: int = 1) -> set[str]:
+        """``qualname`` plus everything reachable in <= ``depth`` hops.
+
+        Cycle-tolerant: a recursive helper (or a mutually-recursive
+        pair) is visited once and the walk terminates.
+        """
+        seen = {qualname}
+        frontier = {qualname}
+        for _ in range(max(depth, 0)):
+            nxt: set[str] = set()
+            for name in frontier:
+                nxt |= self.neighbors(name) - seen
+            if not nxt:
+                break
+            seen |= nxt
+            frontier = nxt
+        return seen

@@ -4,7 +4,10 @@ Text output for humans, ``--format=json`` for CI, and the exit-code
 contract the workflows rely on: 0 clean, 1 new findings, 2 engine
 error.  ``--update-baseline`` rewrites the committed grandfathered set
 (entries get placeholder justifications that must be edited before
-commit).
+commit).  ``--rules`` takes rule ids or two-letter families
+(``--rules KB,KC``); ``--fix`` applies the mechanically safe KA001
+dtype insertions (``--fix --dry-run`` previews the diff); results are
+cached per content hash (``--no-cache`` disables).
 """
 
 from __future__ import annotations
@@ -16,12 +19,14 @@ from pathlib import Path
 
 from repro.analysis import baseline as baseline_mod
 from repro.analysis import engine
+from repro.analysis.crules import C_RULE_DESCRIPTIONS, C_RULE_IDS
+from repro.analysis.fixes import plan_fixes
 from repro.analysis.rules import ALL_RULES
 
 
 def add_lint_parser(sub) -> None:
     """Register the ``lint`` subcommand on the top-level CLI."""
-    p = sub.add_parser("lint", help="kernel-contract static analysis (KA001-KA005)")
+    p = sub.add_parser("lint", help="contract static analysis (KA/KB/KC/KD python, KE C kernels)")
     p.add_argument("paths", nargs="*", default=None,
                    help="files/directories to check (default: the installed repro package)")
     p.add_argument("--format", choices=("text", "json"), default="text")
@@ -32,9 +37,17 @@ def add_lint_parser(sub) -> None:
     p.add_argument("--update-baseline", action="store_true",
                    help="rewrite the baseline to absorb all current findings")
     p.add_argument("--rules", default=None,
-                   help="comma-separated rule ids to run (default: all)")
+                   help="comma-separated rule ids or families, e.g. KA001,KB,KC (default: all)")
     p.add_argument("--list-rules", action="store_true",
                    help="describe the rules and exit")
+    p.add_argument("--fix", action="store_true",
+                   help="apply mechanically safe fixes (KA001 dtype insertion), then re-lint")
+    p.add_argument("--dry-run", action="store_true",
+                   help="with --fix: print the diff without writing files")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the content-hash result cache")
+    p.add_argument("--cache", default=None,
+                   help=f"cache file (default: <repo>/{engine.DEFAULT_CACHE_NAME})")
     p.set_defaults(func=cmd_lint)
 
 
@@ -48,8 +61,9 @@ def _render_text(result: engine.LintResult, *, verbose_baseline: bool = False) -
             f"({entry.code!r} no longer found) — remove it"
         )
     s = result.summary()
+    cached = f", {result.files_cached} cached" if result.files_cached else ""
     lines.append(
-        f"repro lint: {result.files_checked} files, {s['new']} new finding(s), "
+        f"repro lint: {result.files_checked} files{cached}, {s['new']} new finding(s), "
         f"{s['baselined']} baselined, {s['suppressed']} suppressed"
         + (f", {s['stale_baseline']} stale baseline entrie(s)" if s["stale_baseline"] else "")
     )
@@ -58,27 +72,57 @@ def _render_text(result: engine.LintResult, *, verbose_baseline: bool = False) -
     return "\n".join(lines)
 
 
+def _cmd_fix(paths: list[Path] | None, config: engine.LintConfig, dry_run: bool) -> int:
+    plan = plan_fixes(paths if paths is not None else engine.default_paths(), config=config)
+    for err in plan.errors:
+        print(f"repro lint --fix: {err}", file=sys.stderr)
+    if not plan.fixes:
+        print("repro lint --fix: nothing to fix")
+        return 2 if plan.errors else 0
+    if dry_run:
+        for fix in plan.fixes:
+            sys.stdout.write(fix.diff())
+        print(f"repro lint --fix --dry-run: {plan.total_sites} site(s) in "
+              f"{len(plan.fixes)} file(s) would be rewritten")
+        return 0
+    plan.apply()
+    print(f"repro lint --fix: inserted dtype= at {plan.total_sites} site(s) in "
+          f"{len(plan.fixes)} file(s)")
+    return 2 if plan.errors else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for rule in ALL_RULES:
-            print(f"{rule.id} ({rule.name})")
+            print(f"{rule.id} ({rule.name}) [{rule.family}]")
             print(f"    {rule.description}")
+        for rule_id in C_RULE_IDS:
+            print(f"{rule_id} (c-kernel) [KE]")
+            print(f"    {C_RULE_DESCRIPTIONS[rule_id]}")
         return 0
 
     paths = [Path(p) for p in args.paths] if args.paths else None
     enabled = None
     if args.rules:
-        enabled = tuple(tok.strip().upper() for tok in args.rules.split(",") if tok.strip())
-        unknown = [r for r in enabled if r not in {rule.id for rule in ALL_RULES}]
-        if unknown:
-            print(f"repro lint: unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+        enabled = tuple(tok.strip() for tok in args.rules.split(",") if tok.strip())
+        try:
+            engine.expand_rule_selection(enabled)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
             return 2
     config = engine.LintConfig(enabled_rules=enabled)
+
+    if args.fix:
+        return _cmd_fix(paths, config, args.dry_run)
+
+    cache: Path | None = None
+    if not args.no_cache:
+        cache = Path(args.cache) if args.cache else engine.default_cache_path()
 
     baseline_path = Path(args.baseline) if args.baseline else engine.default_baseline_path()
 
     if args.update_baseline:
-        result = engine.run_lint(paths, config=config, baseline=None)
+        result = engine.run_lint(paths, config=config, baseline=None, cache=cache)
         if result.errors:
             print(_render_text(result), file=sys.stderr)
             return 2
@@ -95,7 +139,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"repro lint: {exc}", file=sys.stderr)
             return 2
 
-    result = engine.run_lint(paths, config=config, baseline=baseline)
+    result = engine.run_lint(paths, config=config, baseline=baseline, cache=cache)
     if args.format == "json":
         print(json.dumps(result.as_dict(), indent=2))
     else:

@@ -30,23 +30,60 @@ from repro.analysis.baseline import (
     BaselineEntry,
     load_baseline,
 )
-from repro.analysis.rules import ALL_RULES, Finding, Rule, make_context
+from repro.analysis.cache import (
+    DEFAULT_CACHE_NAME,
+    ResultCache,
+    content_hash,
+    make_global_key,
+)
+from repro.analysis.crules import C_RULE_IDS, check_c_source, is_c_source
+from repro.analysis.rules import ALL_RULES, RULE_FAMILIES, Finding, Rule, make_context
 
 # re-export for `from repro.analysis import Finding`
 __all__ = ["Finding", "LintConfig", "LintResult", "run_lint", "repo_root", "default_paths"]
 
-_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
-_SUPPRESS_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+# suppressions may live in python comments (`# repro-lint: ...`) or in
+# C comments (`/* repro-lint: ... */`, `// repro-lint: ...`)
+_SUPPRESS_RE = re.compile(r"(?:#|//|/\*)\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"(?:#|//|/\*)\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+def expand_rule_selection(tokens: tuple[str, ...]) -> tuple[str, ...]:
+    """Expand a ``--rules`` selection into concrete rule ids.
+
+    A token is either a rule id (``KA001``) or a two-letter family
+    (``KB`` selects KB001..KB003; ``KE`` selects the C rules).  Unknown
+    tokens raise ``ValueError`` so typos fail loudly in CI.
+    """
+    known_ids = {r.id for r in ALL_RULES} | set(C_RULE_IDS)
+    out: list[str] = []
+    for token in tokens:
+        tok = token.strip().upper()
+        if not tok:
+            continue
+        if tok in known_ids:
+            out.append(tok)
+        elif tok in RULE_FAMILIES:
+            out.extend(sorted(i for i in known_ids if i.startswith(tok)))
+        else:
+            raise ValueError(
+                f"unknown rule or family '{token}' "
+                f"(families: {', '.join(RULE_FAMILIES)})"
+            )
+    return tuple(dict.fromkeys(out))
 
 
 @dataclass
 class LintConfig:
     """What to check and where the contracts apply.
 
-    ``kernel_modules`` / ``scatter_exempt_modules`` are matched as
-    posix-path substrings against the repo-relative module path; the
-    defaults encode this repository's layout and can be overridden in
-    tests (``kernel_modules=("",)`` makes everything a kernel module).
+    The ``*_modules`` tuples are matched as posix-path substrings
+    against the repo-relative module path; the defaults encode this
+    repository's layout and can be overridden in tests
+    (``kernel_modules=("",)`` makes everything a kernel module).
+    ``physics_modules`` scope the KB determinism rules,
+    ``worker_modules`` the KC003 fork-snapshot rule, and ``c_modules``
+    the KE C-kernel pass.
     """
 
     kernel_modules: tuple[str, ...] = (
@@ -56,18 +93,60 @@ class LintConfig:
         "repro/md/pair_lj_vectorized.py",
     )
     scatter_exempt_modules: tuple[str, ...] = ("repro/vector/backend.py",)
+    physics_modules: tuple[str, ...] = (
+        "repro/core/",
+        "repro/parallel/",
+        "repro/md/",
+        "repro/state/",
+    )
+    worker_modules: tuple[str, ...] = (
+        "repro/parallel/",
+        "repro/backends/",
+    )
+    c_modules: tuple[str, ...] = ("repro/backends/",)
     enabled_rules: tuple[str, ...] | None = None  # None = all
 
-    def rules(self) -> tuple[Rule, ...]:
+    def rule_ids(self) -> tuple[str, ...] | None:
         if self.enabled_rules is None:
-            return ALL_RULES
-        return tuple(r for r in ALL_RULES if r.id in self.enabled_rules)
+            return None
+        return expand_rule_selection(self.enabled_rules)
 
-    def classify(self, rel_path: str) -> tuple[bool, bool]:
+    def rules(self) -> tuple[Rule, ...]:
+        ids = self.rule_ids()
+        if ids is None:
+            return ALL_RULES
+        return tuple(r for r in ALL_RULES if r.id in ids)
+
+    def c_rule_ids(self) -> set[str]:
+        ids = self.rule_ids()
+        if ids is None:
+            return set(C_RULE_IDS)
+        return {i for i in C_RULE_IDS if i in ids}
+
+    def classify(self, rel_path: str) -> dict[str, bool]:
         rel = rel_path.replace("\\", "/")
-        kernel = any(pat in rel for pat in self.kernel_modules)
-        exempt = any(pat in rel for pat in self.scatter_exempt_modules)
-        return kernel, exempt
+        return {
+            "is_kernel_module": any(pat in rel for pat in self.kernel_modules),
+            "is_scatter_exempt": any(pat in rel for pat in self.scatter_exempt_modules),
+            "is_physics_module": any(pat in rel for pat in self.physics_modules),
+            "is_worker_module": any(pat in rel for pat in self.worker_modules),
+        }
+
+    def is_c_module(self, rel_path: str) -> bool:
+        rel = rel_path.replace("\\", "/")
+        return any(pat in rel for pat in self.c_modules)
+
+    def cache_repr(self) -> str:
+        """Stable string of every classification knob, for the cache key."""
+        return repr(
+            (
+                self.kernel_modules,
+                self.scatter_exempt_modules,
+                self.physics_modules,
+                self.worker_modules,
+                self.c_modules,
+            )
+        )
 
 
 @dataclass
@@ -79,6 +158,7 @@ class LintResult:
     suppressed: list[Finding] = field(default_factory=list)
     stale_baseline: list[BaselineEntry] = field(default_factory=list)
     files_checked: int = 0
+    files_cached: int = 0
     errors: list[str] = field(default_factory=list)
 
     @property
@@ -89,8 +169,9 @@ class LintResult:
 
     def as_dict(self) -> dict:
         return {
-            "version": 1,
+            "version": 2,
             "files_checked": self.files_checked,
+            "files_cached": self.files_cached,
             "findings": [f.as_dict() for f in self.findings],
             "baselined": [f.as_dict() for f in self.baselined],
             "suppressed_count": len(self.suppressed),
@@ -101,14 +182,18 @@ class LintResult:
 
     def summary(self) -> dict:
         by_rule: dict[str, int] = {}
+        by_family: dict[str, int] = {}
         for f in self.findings:
             by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+            by_family[f.family] = by_family.get(f.family, 0) + 1
         return {
             "new": len(self.findings),
             "baselined": len(self.baselined),
             "suppressed": len(self.suppressed),
             "stale_baseline": len(self.stale_baseline),
             "by_rule": by_rule,
+            "by_family": by_family,
+            "files_cached": self.files_cached,
             "exit_code": self.exit_code,
         }
 
@@ -130,12 +215,17 @@ def default_baseline_path() -> Path:
     return repo_root() / DEFAULT_BASELINE_NAME
 
 
+def default_cache_path() -> Path:
+    return repo_root() / DEFAULT_CACHE_NAME
+
+
 def _iter_sources(paths: list[Path]) -> list[Path]:
     files: list[Path] = []
     for p in paths:
         if p.is_dir():
             files.extend(sorted(p.rglob("*.py")))
-        elif p.suffix == ".py":
+            files.extend(sorted(q for q in p.rglob("*") if q.suffix in (".c", ".h")))
+        elif p.suffix in (".py", ".c", ".h"):
             files.append(p)
     return files
 
@@ -169,49 +259,91 @@ def _is_suppressed(f: Finding, per_line: dict[int, set[str]], file_wide: set[str
     return rules is not None and ("ALL" in rules or f.rule in rules)
 
 
+def _lint_one_file(
+    rel: str, source: str, config: LintConfig, result: LintResult
+) -> tuple[list[Finding], list[Finding]] | None:
+    """(kept, suppressed) findings for one file, or None on parse error."""
+    per_line, file_wide = _parse_suppressions(source.splitlines())
+    if is_c_source(rel):
+        if not config.is_c_module(rel):
+            return [], []
+        candidates = check_c_source(rel, source, enabled=config.c_rule_ids())
+    else:
+        try:
+            ctx = make_context(rel, source, **config.classify(rel))
+        except SyntaxError as exc:
+            result.errors.append(f"{rel}: syntax error at line {exc.lineno}: {exc.msg}")
+            return None
+        candidates = [f for rule in config.rules() for f in rule.check(ctx)]
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for f in candidates:
+        (suppressed if _is_suppressed(f, per_line, file_wide) else kept).append(f)
+    return kept, suppressed
+
+
 def run_lint(
     paths: list[Path] | None = None,
     *,
     config: LintConfig | None = None,
     baseline: Baseline | Path | str | None = None,
     root: Path | None = None,
+    cache: Path | str | None = None,
 ) -> LintResult:
     """Run every enabled rule over ``paths`` and assemble a result.
 
     ``baseline`` may be a loaded :class:`Baseline`, a path to one, or
     ``None`` for no baseline.  ``root`` anchors the repo-relative paths
     used in findings and baseline fingerprints (defaults to the
-    repository root).
+    repository root).  ``cache`` points at a result-cache file
+    (:mod:`repro.analysis.cache`); ``None`` disables caching.
     """
     config = config or LintConfig()
     paths = paths if paths is not None else default_paths()
     root = (root or repo_root()).resolve()
     if isinstance(baseline, (str, Path)):
         baseline = load_baseline(baseline)
+    rcache: ResultCache | None = None
+    if cache is not None:
+        rcache = ResultCache.load(
+            Path(cache), make_global_key(config.rule_ids(), config.cache_repr())
+        )
 
     result = LintResult()
     raw: list[Finding] = []
     for path in _iter_sources(paths):
         rel = _rel_path(path, root)
         try:
-            source = path.read_text()
+            data = path.read_bytes()
         except OSError as exc:
             result.errors.append(f"{rel}: unreadable ({exc})")
             continue
-        kernel, exempt = config.classify(rel)
+        digest = content_hash(data) if rcache is not None else ""
+        if rcache is not None:
+            hit = rcache.get(rel, digest)
+            if hit is not None:
+                kept, suppressed = hit
+                raw.extend(kept)
+                result.suppressed.extend(suppressed)
+                result.files_checked += 1
+                result.files_cached += 1
+                continue
         try:
-            ctx = make_context(rel, source, is_kernel_module=kernel, is_scatter_exempt=exempt)
-        except SyntaxError as exc:
-            result.errors.append(f"{rel}: syntax error at line {exc.lineno}: {exc.msg}")
+            source = data.decode()
+        except UnicodeDecodeError as exc:
+            result.errors.append(f"{rel}: undecodable ({exc})")
             continue
+        outcome = _lint_one_file(rel, source, config, result)
+        if outcome is None:
+            continue
+        kept, suppressed = outcome
         result.files_checked += 1
-        per_line, file_wide = _parse_suppressions(ctx.source_lines)
-        for rule in config.rules():
-            for f in rule.check(ctx):
-                if _is_suppressed(f, per_line, file_wide):
-                    result.suppressed.append(f)
-                else:
-                    raw.append(f)
+        raw.extend(kept)
+        result.suppressed.extend(suppressed)
+        if rcache is not None:
+            rcache.put(rel, digest, kept, suppressed)
+    if rcache is not None:
+        rcache.save()
 
     raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     if baseline is not None:

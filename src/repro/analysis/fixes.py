@@ -1,0 +1,152 @@
+"""Mechanically safe autofixes (``repro lint --fix``).
+
+Only one fix class is implemented, because only one is *provably*
+bitwise-safe: inserting ``dtype=np.float64`` into a bare
+``np.zeros/empty/ones`` call (KA001).  Numpy's default dtype for those
+constructors **is** float64, so spelling it out changes no bits at
+runtime — it only makes the choice explicit so the precision layer can
+audit it.  Everything else KA001 covers is left alone:
+
+- ``np.full`` — the default dtype follows the fill value, so pinning
+  float64 could change behaviour for integer fills;
+- ``np.arange`` — dtype is inferred from the arguments;
+- calls that already pass a positional dtype, calls spanning multiple
+  source lines, and calls under a ``repro-lint: disable`` comment.
+
+The planner parses each file, collects insertion points from the AST
+(``end_col_offset`` of the call), applies them right-to-left per line
+so earlier insertions never shift later offsets, and re-parses the
+result — a file that stops parsing is skipped with an error rather
+than written.  ``--fix --dry-run`` renders the same plan as a unified
+diff without touching anything.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.engine import LintConfig, _iter_sources, _parse_suppressions, _rel_path
+from repro.analysis.dataflow import dtype_argument, is_np_attr_call
+
+#: constructors whose implicit dtype is exactly float64
+_SAFE_CTORS = frozenset({"zeros", "empty", "ones"})
+
+
+@dataclass
+class FileFix:
+    """Planned rewrite of one file."""
+
+    path: Path
+    rel: str
+    old: str
+    new: str
+    sites: int = 0
+
+    def diff(self) -> str:
+        return "".join(
+            difflib.unified_diff(
+                self.old.splitlines(keepends=True),
+                self.new.splitlines(keepends=True),
+                fromfile=f"a/{self.rel}",
+                tofile=f"b/{self.rel}",
+            )
+        )
+
+
+@dataclass
+class FixPlan:
+    fixes: list[FileFix] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def total_sites(self) -> int:
+        return sum(f.sites for f in self.fixes)
+
+    def apply(self) -> None:
+        for fix in self.fixes:
+            fix.path.write_text(fix.new)
+
+
+def _fix_sites(tree: ast.Module, suppressed: dict[int, set[str]], file_wide: set[str]):
+    """(lineno, insert_col, numpy_alias) for each safely fixable call."""
+    if "ALL" in file_wide or "KA001" in file_wide:
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not is_np_attr_call(node, _SAFE_CTORS):
+            continue
+        if dtype_argument(node) is not None or len(node.args) > 1:
+            continue  # dtype already present (keyword or positional)
+        if node.lineno != node.end_lineno or node.end_col_offset is None:
+            continue  # multi-line calls: offsets are not a safe edit base
+        rules = suppressed.get(node.lineno, set())
+        if "ALL" in rules or "KA001" in rules:
+            continue
+        alias = node.func.value.id  # "np" or "numpy" (is_np_attr_call checked)
+        yield node.lineno, node.end_col_offset - 1, alias
+
+
+def _apply_to_source(source: str, sites) -> tuple[str, int]:
+    lines = source.splitlines(keepends=True)
+    # right-to-left within each line so earlier inserts don't shift cols
+    ordered = sorted(sites, key=lambda s: (s[0], s[1]), reverse=True)
+    count = 0
+    for lineno, col, alias in ordered:
+        line = lines[lineno - 1]
+        if line[col] != ")":
+            continue  # offset drifted (defensive; should not happen)
+        before = line[:col]
+        stripped = before.rstrip()
+        if stripped.endswith(","):
+            insert = f" dtype={alias}.float64"
+        elif stripped.endswith("("):
+            insert = f"dtype={alias}.float64"
+        else:
+            insert = f", dtype={alias}.float64"
+        lines[lineno - 1] = before + insert + line[col:]
+        count += 1
+    return "".join(lines), count
+
+
+def plan_fixes(
+    paths: list[Path],
+    *,
+    config: LintConfig | None = None,
+    root: Path | None = None,
+) -> FixPlan:
+    """Build (but do not apply) the KA001 dtype-insertion plan."""
+    from repro.analysis.engine import repo_root
+
+    config = config or LintConfig()
+    root = (root or repo_root()).resolve()
+    plan = FixPlan()
+    for path in _iter_sources(paths):
+        if path.suffix != ".py":
+            continue
+        rel = _rel_path(path, root)
+        if not config.classify(rel)["is_kernel_module"]:
+            continue  # KA001 only applies in kernel modules
+        try:
+            source = path.read_text()
+            tree = ast.parse(source, filename=rel)
+        except (OSError, SyntaxError) as exc:
+            plan.errors.append(f"{rel}: {exc}")
+            continue
+        per_line, file_wide = _parse_suppressions(source.splitlines())
+        sites = list(_fix_sites(tree, per_line, file_wide))
+        if not sites:
+            continue
+        new, count = _apply_to_source(source, sites)
+        if count == 0:
+            continue
+        try:
+            ast.parse(new, filename=rel)
+        except SyntaxError as exc:
+            plan.errors.append(f"{rel}: fix would break parse ({exc}); skipped")
+            continue
+        plan.fixes.append(FileFix(path=path, rel=rel, old=source, new=new, sites=count))
+    return plan

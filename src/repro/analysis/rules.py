@@ -1,7 +1,8 @@
-"""The kernel-contract rules (KA001–KA005).
+"""The contract rules, grouped into families by id prefix.
 
 Each rule checks one invariant the paper's toolchain enforced by
-construction and this repository previously enforced only by prose:
+construction and this repository previously enforced only by prose or
+by dynamic tests:
 
 ========  ==============================================================
 KA001     array constructors without an explicit ``dtype=`` in
@@ -9,29 +10,54 @@ KA001     array constructors without an explicit ``dtype=`` in
 KA002     float64-promoting operations inside precision-parameterized
           kernels that bypass ``Precision.compute_dtype``
           (Sec. V-D/E: precision modes are *derived*, never hardcoded)
-KA003     raw allocations inside ``@hot_path`` functions that bypass
+KA003     raw allocations inside ``@hot_path`` functions — or inside
+          local helpers they call (one call-graph hop) — that bypass
           the PR-2 ``Workspace`` (steady-state force calls must not
           allocate)
 KA004     ``divide``/``sqrt``/``log``/``power`` in masked kernels not
           enclosed in ``np.errstate(...)`` with ``np.where(mask, ...)``
           sanitization (Fig. 1: masked-off lanes must never poison
-          results)
+          results); also flags masked data handed to an unguarded
+          local helper
 KA005     raw ``np.add.at`` outside the approved
           ``repro.vector.backend`` scatter helpers (conflict-safe
           accumulation is a named building block, Sec. V-A (3))
+KB001     iteration over hash/insertion-ordered containers feeding
+          accumulation in physics modules (the static counterpart of
+          the bitwise-for-any-worker-count guarantee)
+KB002     unseeded / global RNG streams in physics modules (every
+          stochastic term must flow from an explicit seed)
+KB003     ``sum``/``fsum``/``reduce`` over hash-ordered iterables —
+          reductions must have a pinned operand order
+KC001     ``SharedMemory(create=True)`` without a reachable
+          ``.unlink()`` plus an exception guard (try/finalizer)
+KC002     executor/pool creation without a shutdown path
+          (``finally:`` / context manager / owning-class close method)
+KC003     mutable module globals mutated inside functions of worker
+          modules — fork-started workers capture a stale snapshot
+KD001     classes exposing ``state_dict``/``get_state`` whose mutable
+          run-state attributes are missing from the serialized set
+          (checkpoint bitwise-resume completeness)
 ========  ==============================================================
 
+C-source rules (``KE*``) live in :mod:`repro.analysis.crules`.
+
 Rules are pure functions over a :class:`ModuleContext`; they never
-modify state, so the engine can run any subset in any order.
+modify state, so the engine can run any subset in any order.  A rule's
+*family* is the two-letter prefix of its id; ``--rules KB,KC`` selects
+whole families.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.analysis.callgraph import CallGraph
 from repro.analysis.dataflow import (
+    ACCUMULATION_SINKS,
     FunctionInfo,
     build_parent_map,
     call_name,
@@ -70,9 +96,15 @@ class Finding:
     def fingerprint(self) -> tuple[str, str, str]:
         return (self.rule, self.path, self.code)
 
+    @property
+    def family(self) -> str:
+        """Two-letter rule family (``KA001`` -> ``KA``)."""
+        return self.rule[:2]
+
     def as_dict(self) -> dict:
         return {
             "rule": self.rule,
+            "family": self.family,
             "path": self.path,
             "line": self.line,
             "col": self.col,
@@ -93,14 +125,27 @@ class ModuleContext:
     source_lines: list[str]
     is_kernel_module: bool
     is_scatter_exempt: bool
+    is_physics_module: bool = False
+    is_worker_module: bool = False
     functions: list[FunctionInfo] = field(default_factory=list)
     _parents: dict[ast.AST, ast.AST] | None = None
+    _callgraph: CallGraph | None = None
 
     @property
     def parents(self) -> dict[ast.AST, ast.AST]:
         if self._parents is None:
             self._parents = build_parent_map(self.tree)
         return self._parents
+
+    @property
+    def callgraph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = CallGraph.build(self.functions)
+        return self._callgraph
+
+    @property
+    def function_map(self) -> dict[str, FunctionInfo]:
+        return self.callgraph.functions
 
     def line(self, lineno: int) -> str:
         if 1 <= lineno <= len(self.source_lines):
@@ -125,8 +170,32 @@ class Rule:
     name: str = ""
     description: str = ""
 
+    @property
+    def family(self) -> str:
+        return self.id[:2]
+
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:  # pragma: no cover
         raise NotImplementedError
+
+
+def _line_has_suppression(ctx: ModuleContext, lineno: int, rule_id: str) -> bool:
+    """Is ``rule_id`` suppressed on ``lineno`` of this module?
+
+    Interprocedural findings anchor at the *call site*, but a helper's
+    own justified-and-suppressed line (e.g. a KA003 rationale on the
+    allocation itself) must not re-fire through its callers — so the
+    caller-side rules peek at the helper's line comments here.  The
+    engine owns the full suppression grammar; this only needs the
+    per-line ``disable=`` form.
+    """
+    line = ctx.line(lineno)
+    if "repro-lint:" not in line:
+        return False
+    m = re.search(r"disable=([A-Za-z0-9_,\s]+)", line)
+    if m is None:
+        return False
+    tokens = {tok.strip().upper() for tok in m.group(1).split(",") if tok.strip()}
+    return rule_id.upper() in tokens or "ALL" in tokens
 
 
 def _has_explicit_dtype(node: ast.Call, ctor: str) -> bool:
@@ -316,7 +385,17 @@ class HotPathAllocationRule(Rule):
 
     _ALLOCATORS = frozenset({"zeros", "empty", "ones", "full"})
 
+    def _raw_allocations(self, ctx: ModuleContext, fn: FunctionInfo) -> list[ast.Call]:
+        return [
+            node
+            for node in walk_own(fn.node)
+            if isinstance(node, ast.Call)
+            and is_np_attr_call(node, self._ALLOCATORS)
+            and not _line_has_suppression(ctx, node.lineno, self.id)
+        ]
+
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        fnmap = ctx.function_map
         for fn in ctx.functions:
             if not fn.is_hot_path:
                 continue
@@ -330,6 +409,22 @@ class HotPathAllocationRule(Rule):
                         node,
                         f"np.{call_name(node)}(...) allocates inside @hot_path "
                         f"{fn.qualname}; route through Workspace.buf",
+                    )
+            # one call-graph hop: a helper hiding the allocation is the
+            # same per-call cost — flag it at the call site
+            for site in ctx.callgraph.callsites(fn.qualname):
+                callee = fnmap.get(site.callee)
+                if callee is None or callee.is_hot_path:
+                    continue  # hot callees produce their own findings
+                allocs = self._raw_allocations(ctx, callee)
+                if allocs:
+                    yield ctx.finding(
+                        self.id,
+                        site.node,
+                        f"@hot_path {fn.qualname} calls {site.callee}, which "
+                        f"allocates via np.{call_name(allocs[0])}(...) at line "
+                        f"{allocs[0].lineno}; route through Workspace.buf or "
+                        "justify at the call site",
                     )
 
 
@@ -350,6 +445,53 @@ class MaskedMathGuardRule(Rule):
             if not fn.mask_names:
                 continue
             yield from self._check_function(ctx, fn)
+            yield from self._check_helper_calls(ctx, fn)
+
+    _TRACKED_KINDS = ("compute", "accum", "mask", "workspace")
+
+    def _unguarded_risky_ops(self, ctx: ModuleContext, fn: FunctionInfo) -> list[ast.Call]:
+        return [
+            node
+            for node in walk_own(fn.node)
+            if isinstance(node, ast.Call)
+            and is_np_attr_call(node, _RISKY_MATH)
+            and not fn.in_errstate(node.lineno)
+            and not _line_has_suppression(ctx, node.lineno, self.id)
+        ]
+
+    def _check_helper_calls(self, ctx: ModuleContext, fn: FunctionInfo) -> Iterator[Finding]:
+        """Masked-lane data handed to an unguarded local helper.
+
+        ``np.errstate`` is dynamically scoped (a thread-global flag
+        swap), so a call site already inside the caller's errstate
+        block is guarded no matter what the helper does; outside one,
+        the helper must guard its own risky math.  Helpers with mask
+        parameters of their own are masked kernels in their own right
+        and are checked directly, not through their callers.
+        """
+        fnmap = ctx.function_map
+        for site in ctx.callgraph.callsites(fn.qualname):
+            callee = fnmap.get(site.callee)
+            if callee is None or callee.mask_names:
+                continue
+            if fn.in_errstate(site.node.lineno):
+                continue
+            handed = [*site.node.args, *(kw.value for kw in site.node.keywords)]
+            if not any(
+                isinstance(a, ast.Name) and fn.kinds.get(a.id) in self._TRACKED_KINDS
+                for a in handed
+            ):
+                continue
+            risky = self._unguarded_risky_ops(ctx, callee)
+            if risky:
+                yield ctx.finding(
+                    self.id,
+                    site.node,
+                    f"masked kernel {fn.qualname} hands tracked arrays to "
+                    f"{site.callee}, which runs np.{call_name(risky[0])} (line "
+                    f"{risky[0].lineno}) outside np.errstate(...); guard the "
+                    "helper or wrap the call site",
+                )
 
     def _risky_binop(self, node: ast.BinOp, fn: FunctionInfo) -> bool:
         if not isinstance(node.op, (ast.Div, ast.Pow)):
@@ -427,15 +569,729 @@ class RawScatterRule(Rule):
                 )
 
 
+# --------------------------------------------------------------------------
+# KB family — determinism discipline
+# --------------------------------------------------------------------------
+
+_HASH_ORDERED_VIEWS = frozenset({"keys", "values", "items"})
+_SET_OPS = (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+
+
+def _is_hash_ordered_ctor(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Set, ast.SetComp, ast.Dict, ast.DictComp)):
+        return True
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Name)
+        and value.func.id in ("set", "frozenset", "dict")
+    ):
+        return True
+    return False
+
+
+def _hash_ordered_locals(fn: FunctionInfo) -> set[str]:
+    """Local names bound to set/dict values inside ``fn``."""
+    names: set[str] = set()
+    for node in walk_own(fn.node):
+        if isinstance(node, ast.Assign) and _is_hash_ordered_ctor(node.value):
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+    return names
+
+
+def _is_hash_ordered_expr(node: ast.expr, hash_names: set[str]) -> bool:
+    """Does iterating ``node`` walk a set/dict (hash/insertion order)?"""
+    if _is_hash_ordered_ctor(node):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in hash_names
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name in _HASH_ORDERED_VIEWS and isinstance(node.func, ast.Attribute):
+            return True
+        if name in ("set", "frozenset") and isinstance(node.func, ast.Name):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, _SET_OPS):
+        return _is_hash_ordered_expr(node.left, hash_names) or _is_hash_ordered_expr(
+            node.right, hash_names
+        )
+    return False
+
+
+def _body_accumulates(loop: ast.For) -> bool:
+    """Does the loop body feed an accumulation / reduction sink?"""
+    for stmt in [*loop.body, *loop.orelse]:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign):
+                return True
+            if isinstance(node, ast.Call) and call_name(node) in ACCUMULATION_SINKS:
+                return True
+    return False
+
+
+class HashOrderIterationRule(Rule):
+    id = "KB001"
+    name = "hash-order-iteration"
+    description = (
+        "for-loop over a set/dict (or a .keys()/.values()/.items() view) "
+        "whose body accumulates, in a physics module; iteration order is "
+        "hash/insertion order, so the reduction order — and the float "
+        "result — depends on construction history; iterate sorted(...) "
+        "or a list with pinned order instead"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_physics_module:
+            return
+        for fn in ctx.functions:
+            hash_names = _hash_ordered_locals(fn)
+            for node in walk_own(fn.node):
+                if (
+                    isinstance(node, ast.For)
+                    and _is_hash_ordered_expr(node.iter, hash_names)
+                    and _body_accumulates(node)
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        node.iter,
+                        f"accumulating loop in {fn.qualname} iterates a "
+                        "set/dict in hash/insertion order; pin the order "
+                        "(sorted(...) or an explicit list)",
+                    )
+
+
+def _is_np_random_base(node: ast.expr) -> bool:
+    """``np.random`` / ``numpy.random`` attribute chains."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+_LEGACY_NP_RANDOM = frozenset(
+    {
+        "rand",
+        "randn",
+        "random",
+        "random_sample",
+        "randint",
+        "normal",
+        "uniform",
+        "choice",
+        "shuffle",
+        "permutation",
+        "standard_normal",
+        "seed",
+    }
+)
+_PY_RANDOM_FNS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "choice",
+        "choices",
+        "sample",
+        "shuffle",
+        "seed",
+    }
+)
+
+
+class UnseededRandomRule(Rule):
+    id = "KB002"
+    name = "unseeded-random"
+    description = (
+        "unseeded np.random.default_rng()/RandomState(), legacy global "
+        "np.random.* draws, or stdlib random.* in a physics module; every "
+        "stochastic term (Langevin noise, velocity init) must flow from an "
+        "explicit per-run seed or reproducibility and bitwise restart die"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_physics_module:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id == "default_rng" and not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self.id, node, "default_rng() without a seed; pass an explicit seed"
+                    )
+                continue
+            if not isinstance(func, ast.Attribute):
+                continue
+            if func.attr == "default_rng" and _is_np_random_base(func.value):
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "np.random.default_rng() without a seed; pass an explicit seed",
+                    )
+            elif func.attr == "RandomState" and _is_np_random_base(func.value):
+                if not node.args and not node.keywords:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        "np.random.RandomState() without a seed; pass an explicit seed",
+                    )
+            elif _is_np_random_base(func.value) and func.attr in _LEGACY_NP_RANDOM:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"np.random.{func.attr}(...) uses the global legacy stream; "
+                    "draw from an explicitly seeded Generator instead",
+                )
+            elif (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "random"
+                and func.attr in _PY_RANDOM_FNS
+            ):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"random.{func.attr}(...) uses the process-global stdlib stream; "
+                    "draw from an explicitly seeded Generator instead",
+                )
+
+
+_ORDER_SENSITIVE_REDUCERS = frozenset({"sum", "fsum", "reduce", "prod"})
+
+
+class HashOrderReductionRule(Rule):
+    id = "KB003"
+    name = "hash-order-reduction"
+    description = (
+        "sum/fsum/reduce/prod over a set/dict (or a generator iterating "
+        "one) in a physics module; float reduction order must be pinned — "
+        "reduce over sorted(...) or a fixed-rank-order list"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_physics_module:
+            return
+        for fn in ctx.functions:
+            hash_names = _hash_ordered_locals(fn)
+            for node in walk_own(fn.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and call_name(node) in _ORDER_SENSITIVE_REDUCERS
+                ):
+                    continue
+                if call_name(node) == "reduce":
+                    arg = node.args[1] if len(node.args) >= 2 else None
+                else:
+                    arg = node.args[0] if node.args else None
+                if arg is None:
+                    continue
+                ordered = _is_hash_ordered_expr(arg, hash_names)
+                if not ordered and isinstance(
+                    arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)
+                ):
+                    ordered = any(
+                        _is_hash_ordered_expr(gen.iter, hash_names)
+                        for gen in arg.generators
+                    )
+                if ordered:
+                    yield ctx.finding(
+                        self.id,
+                        node,
+                        f"{call_name(node)}(...) in {fn.qualname} reduces over a "
+                        "set/dict in hash/insertion order; pin the operand order",
+                    )
+
+
+# --------------------------------------------------------------------------
+# KC family — concurrency & resource lifecycle
+# --------------------------------------------------------------------------
+
+
+def _kw_is_true(node: ast.Call, kw_name: str) -> bool:
+    for kw in node.keywords:
+        if kw.arg == kw_name and isinstance(kw.value, ast.Constant) and kw.value.value is True:
+            return True
+    return False
+
+
+def _calls_method_named(fn_node: ast.AST, method: str) -> bool:
+    return any(
+        isinstance(n, ast.Call)
+        and isinstance(n.func, ast.Attribute)
+        and n.func.attr == method
+        for n in ast.walk(fn_node)
+    )
+
+
+def _inside_try(node: ast.AST, parents: dict[ast.AST, ast.AST], stop: ast.AST) -> bool:
+    cur: ast.AST | None = parents.get(node)
+    while cur is not None and cur is not stop:
+        if isinstance(cur, ast.Try):
+            return True
+        cur = parents.get(cur)
+    return False
+
+
+class SharedMemoryLifecycleRule(Rule):
+    id = "KC001"
+    name = "shm-lifecycle"
+    description = (
+        "SharedMemory(create=True) whose creating function cannot reach a "
+        ".unlink() within one call-graph hop, or whose creation is neither "
+        "inside a try block nor backed by a weakref.finalize safety net; "
+        "leaked segments survive the process on POSIX"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        fnmap = ctx.function_map
+        for fn in ctx.functions:
+            creations = [
+                n
+                for n in walk_own(fn.node)
+                if isinstance(n, ast.Call)
+                and call_name(n) == "SharedMemory"
+                and _kw_is_true(n, "create")
+            ]
+            if not creations:
+                continue
+            reach = ctx.callgraph.reach(fn.qualname, depth=1)
+            has_unlink = any(
+                _calls_method_named(fnmap[q].node, "unlink") for q in reach if q in fnmap
+            )
+            if not has_unlink:
+                yield ctx.finding(
+                    self.id,
+                    creations[0],
+                    f"SharedMemory(create=True) in {fn.qualname} with no "
+                    ".unlink() reachable within one call-graph hop; the "
+                    "segment leaks past process exit",
+                )
+                continue
+            has_finalize = any(
+                isinstance(n, ast.Call) and call_name(n) == "finalize"
+                for n in walk_own(fn.node)
+            )
+            for c in creations:
+                if has_finalize or _inside_try(c, ctx.parents, fn.node):
+                    continue
+                yield ctx.finding(
+                    self.id,
+                    c,
+                    f"SharedMemory(create=True) in {fn.qualname} is not "
+                    "exception-guarded; create inside try/except cleanup or "
+                    "register weakref.finalize",
+                )
+
+
+_EXECUTOR_CTORS = frozenset(
+    {
+        "make_executor",
+        "ProcessExecutor",
+        "SerialExecutor",
+        "ThreadExecutor",
+        "ProcessPoolExecutor",
+        "ThreadPoolExecutor",
+        "Pool",
+        "ThreadPool",
+    }
+)
+_SHUTDOWN_METHODS = frozenset({"shutdown", "close", "terminate", "join"})
+
+
+class ExecutorLifecycleRule(Rule):
+    id = "KC002"
+    name = "executor-lifecycle"
+    description = (
+        "executor/pool creation with no shutdown path: a local executor "
+        "must be shut down in a finally block, used as a context manager, "
+        "returned (ownership transfer), or handed to weakref.finalize; an "
+        "executor stored on self needs a same-class method calling "
+        ".shutdown()/.close()/.terminate() on it"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for fn in ctx.functions:
+            for node in walk_own(fn.node):
+                if (
+                    isinstance(node, ast.Expr)
+                    and isinstance(node.value, ast.Call)
+                    and call_name(node.value) in _EXECUTOR_CTORS
+                ):
+                    yield ctx.finding(
+                        self.id,
+                        node.value,
+                        f"{call_name(node.value)}(...) created and dropped in "
+                        f"{fn.qualname}; its worker processes are never shut down",
+                    )
+                    continue
+                if not (
+                    isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and call_name(node.value) in _EXECUTOR_CTORS
+                    and len(node.targets) == 1
+                ):
+                    continue
+                target = node.targets[0]
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    if not self._class_shuts_down(ctx, fn, target.attr):
+                        yield ctx.finding(
+                            self.id,
+                            node.value,
+                            f"self.{target.attr} holds an executor but no method "
+                            f"of the class calls self.{target.attr}."
+                            "shutdown()/close()/terminate(); add a close path",
+                        )
+                elif isinstance(target, ast.Name):
+                    if not self._local_lifecycle_ok(fn, target.id):
+                        yield ctx.finding(
+                            self.id,
+                            node.value,
+                            f"executor '{target.id}' in {fn.qualname} has no "
+                            "shutdown on all paths; wrap in try/finally, use a "
+                            "context manager, return it, or register "
+                            "weakref.finalize",
+                        )
+
+    def _class_shuts_down(self, ctx: ModuleContext, fn: FunctionInfo, attr: str) -> bool:
+        if "." not in fn.qualname:
+            return False
+        prefix = fn.qualname.rsplit(".", 1)[0]
+        for other in ctx.functions:
+            if not other.qualname.startswith(prefix + "."):
+                continue
+            for n in ast.walk(other.node):
+                if (
+                    isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)
+                    and n.func.attr in _SHUTDOWN_METHODS
+                    and isinstance(n.func.value, ast.Attribute)
+                    and n.func.value.attr == attr
+                    and isinstance(n.func.value.value, ast.Name)
+                    and n.func.value.value.id == "self"
+                ):
+                    return True
+        return False
+
+    def _local_lifecycle_ok(self, fn: FunctionInfo, name: str) -> bool:
+        for node in walk_own(fn.node):
+            # shutdown inside a finally block covers the exception paths
+            if isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for n in ast.walk(stmt):
+                        if (
+                            isinstance(n, ast.Call)
+                            and isinstance(n.func, ast.Attribute)
+                            and n.func.attr in _SHUTDOWN_METHODS
+                            and isinstance(n.func.value, ast.Name)
+                            and n.func.value.id == name
+                        ):
+                            return True
+            # ownership transfer: returned to the caller
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if any(
+                    isinstance(n, ast.Name) and n.id == name
+                    for n in ast.walk(node.value)
+                ):
+                    return True
+            # promoted to an attribute — the class-lifecycle check owns it
+            elif isinstance(node, ast.Assign) and isinstance(node.value, ast.Name):
+                if node.value.id == name and any(
+                    isinstance(t, ast.Attribute) for t in node.targets
+                ):
+                    return True
+            # finalizer safety net
+            elif isinstance(node, ast.Call) and call_name(node) == "finalize":
+                if any(
+                    isinstance(n, ast.Name) and n.id == name
+                    for a in [*node.args, *(kw.value for kw in node.keywords)]
+                    for n in ast.walk(a)
+                ):
+                    return True
+        return False
+
+
+_MUTABLE_GLOBAL_CTORS = frozenset(
+    {"dict", "list", "set", "deque", "defaultdict", "Counter", "OrderedDict"}
+)
+_MUTATING_METHODS = frozenset(
+    {"append", "extend", "add", "update", "setdefault", "pop", "popitem", "clear", "remove"}
+)
+
+
+def _is_mutable_global_init(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call) and call_name(value) in _MUTABLE_GLOBAL_CTORS:
+        return True
+    # deferred-init singletons: `_lib = None`, rebound under `global`
+    if isinstance(value, ast.Constant) and value.value is None:
+        return True
+    return False
+
+
+class ForkCapturedGlobalRule(Rule):
+    id = "KC003"
+    name = "fork-captured-global"
+    description = (
+        "mutable module global mutated inside a function of a worker "
+        "module (parallel/, backends/); fork-started workers capture a "
+        "snapshot of module state at fork time, so post-fork parent "
+        "mutations silently diverge — pass state explicitly through the "
+        "executor payload, or justify fork/spawn safety inline"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.is_worker_module:
+            return
+        module_globals: set[str] = set()
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and _is_mutable_global_init(stmt.value):
+                for t in stmt.targets:
+                    if isinstance(t, ast.Name):
+                        module_globals.add(t.id)
+            elif (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.value is not None
+                and _is_mutable_global_init(stmt.value)
+            ):
+                module_globals.add(stmt.target.id)
+        if not module_globals:
+            return
+        for fn in ctx.functions:
+            declared = {
+                name
+                for node in walk_own(fn.node)
+                if isinstance(node, ast.Global)
+                for name in node.names
+            }
+            flagged: dict[str, ast.AST] = {}
+            for node in walk_own(fn.node):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                    for t in targets:
+                        if (
+                            isinstance(t, ast.Name)
+                            and t.id in module_globals
+                            and t.id in declared
+                        ):
+                            flagged.setdefault(t.id, node)
+                        elif (
+                            isinstance(t, ast.Subscript)
+                            and isinstance(t.value, ast.Name)
+                            and t.value.id in module_globals
+                        ):
+                            flagged.setdefault(t.value.id, node)
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _MUTATING_METHODS
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in module_globals
+                ):
+                    flagged.setdefault(node.func.value.id, node)
+            for name in sorted(flagged):
+                yield ctx.finding(
+                    self.id,
+                    flagged[name],
+                    f"module global '{name}' is mutated in {fn.qualname}; "
+                    "fork-started workers see a stale snapshot — pass state "
+                    "through the executor payload or justify inline",
+                )
+
+
+# --------------------------------------------------------------------------
+# KD family — state-contract completeness
+# --------------------------------------------------------------------------
+
+_STATE_METHODS = ("state_dict", "get_state")
+_RESTORE_METHODS = ("set_state", "restore_state", "load_state", "load_state_dict", "from_state")
+_MUTABLE_VALUE_CTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "deque",
+        "defaultdict",
+        "Counter",
+        "OrderedDict",
+        "default_rng",
+        "Generator",
+        "zeros",
+        "empty",
+        "ones",
+        "full",
+        "array",
+        "asarray",
+        "arange",
+        "zeros_like",
+        "empty_like",
+        "ones_like",
+        "full_like",
+    }
+)
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``self.X`` -> ``X`` (one level only)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _self_attr_stores(fn_node: ast.AST) -> set[str]:
+    out: set[str] = set()
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for t in targets:
+                base = t.value if isinstance(t, ast.Subscript) else t
+                attr = _self_attr(base)
+                if attr is not None:
+                    out.add(attr)
+    return out
+
+
+def _self_attr_loads(fn_node: ast.AST) -> set[str]:
+    out: set[str] = set()
+    for node in ast.walk(fn_node):
+        attr = _self_attr(node)
+        if attr is not None and isinstance(node.ctx, ast.Load):
+            out.add(attr)
+    return out
+
+
+class StateContractRule(Rule):
+    id = "KD001"
+    name = "state-contract"
+    description = (
+        "a class exposing state_dict()/get_state() has a mutable run-state "
+        "attribute (mutable __init__ value, or assigned outside __init__/"
+        "state/restore methods) that the state methods never read and the "
+        "restore methods never write; checkpoints silently drop it and "
+        "bitwise resume drifts"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        classes: dict[str, dict[str, FunctionInfo]] = {}
+        for fn in ctx.functions:
+            if "." not in fn.qualname or "<locals>" in fn.qualname:
+                continue
+            cls_name, _, meth = fn.qualname.rpartition(".")
+            classes.setdefault(cls_name, {})[meth] = fn
+        for cls_name in sorted(classes):
+            methods = classes[cls_name]
+            triggers = [m for m in _STATE_METHODS if m in methods]
+            if not triggers or "__init__" not in methods:
+                continue
+            yield from self._check_class(ctx, cls_name, methods, triggers)
+
+    def _reached_nodes(self, ctx: ModuleContext, qualnames: list[str]) -> list[ast.AST]:
+        """The method nodes plus everything one call-graph hop away."""
+        fnmap = ctx.function_map
+        reached: set[str] = set()
+        for q in qualnames:
+            reached |= ctx.callgraph.reach(q, depth=1)
+        return [fnmap[q].node for q in sorted(reached) if q in fnmap]
+
+    def _check_class(
+        self,
+        ctx: ModuleContext,
+        cls_name: str,
+        methods: dict[str, FunctionInfo],
+        triggers: list[str],
+    ) -> Iterator[Finding]:
+        init = methods["__init__"]
+        init_sites: dict[str, ast.AST] = {}
+        init_mutable: set[str] = set()
+        for node in walk_own(init.node):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            value = node.value
+            for t in targets:
+                attr = _self_attr(t)
+                if attr is None:
+                    continue
+                init_sites.setdefault(attr, node)
+                if value is not None and self._is_mutable_value(value):
+                    init_mutable.add(attr)
+
+        excluded = {"__init__", *_STATE_METHODS, *_RESTORE_METHODS}
+        run_mutated: set[str] = set()
+        for meth, fn in methods.items():
+            if meth in excluded:
+                continue
+            run_mutated |= _self_attr_stores(fn.node)
+
+        state_nodes = self._reached_nodes(
+            ctx, [f"{cls_name}.{m}" for m in triggers]
+        )
+        restore_nodes = self._reached_nodes(
+            ctx, [f"{cls_name}.{m}" for m in _RESTORE_METHODS if m in methods]
+        )
+        serialized: set[str] = set()
+        for n in state_nodes:
+            serialized |= _self_attr_loads(n)
+        for n in restore_nodes:
+            serialized |= _self_attr_stores(n)
+            serialized |= _self_attr_loads(n)
+
+        for attr in sorted(init_sites):
+            state_bearing = attr in init_mutable or attr in run_mutated
+            if not state_bearing or attr in serialized:
+                continue
+            yield ctx.finding(
+                self.id,
+                init_sites[attr],
+                f"attribute '{attr}' of {cls_name} is mutable run state but "
+                f"is not read by {'/'.join(triggers)}() or written by a "
+                "restore method; checkpoints silently drop it",
+            )
+
+    @staticmethod
+    def _is_mutable_value(value: ast.expr) -> bool:
+        if isinstance(
+            value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        ):
+            return True
+        return isinstance(value, ast.Call) and call_name(value) in _MUTABLE_VALUE_CTORS
+
+
 ALL_RULES: tuple[Rule, ...] = (
     DtypeDisciplineRule(),
     PrecisionPromotionRule(),
     HotPathAllocationRule(),
     MaskedMathGuardRule(),
     RawScatterRule(),
+    HashOrderIterationRule(),
+    UnseededRandomRule(),
+    HashOrderReductionRule(),
+    SharedMemoryLifecycleRule(),
+    ExecutorLifecycleRule(),
+    ForkCapturedGlobalRule(),
+    StateContractRule(),
 )
 
 RULES_BY_ID: dict[str, Rule] = {r.id: r for r in ALL_RULES}
+
+RULE_FAMILIES: tuple[str, ...] = tuple(sorted({r.family for r in ALL_RULES} | {"KE"}))
 
 
 def make_context(
@@ -444,6 +1300,8 @@ def make_context(
     *,
     is_kernel_module: bool,
     is_scatter_exempt: bool,
+    is_physics_module: bool = False,
+    is_worker_module: bool = False,
 ) -> ModuleContext:
     tree = ast.parse(source, filename=path)
     ctx = ModuleContext(
@@ -452,6 +1310,8 @@ def make_context(
         source_lines=source.splitlines(),
         is_kernel_module=is_kernel_module,
         is_scatter_exempt=is_scatter_exempt,
+        is_physics_module=is_physics_module,
+        is_worker_module=is_worker_module,
     )
     ctx.functions = collect_functions(tree)
     return ctx

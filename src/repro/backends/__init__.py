@@ -55,7 +55,9 @@ _FALLBACK_WARNED: set[str] = set()
 def register(backend: ComputeBackend) -> ComputeBackend:
     if backend.name in _REGISTRY:
         raise ValueError(f"backend {backend.name!r} already registered")
-    _REGISTRY[backend.name] = backend
+    # import-time registration: populated before any executor forks,
+    # identical in every process that imports the package
+    _REGISTRY[backend.name] = backend  # repro-lint: disable=KC003
     return backend
 
 
@@ -107,7 +109,9 @@ def resolve(name: str | None = None, *, fallback: bool = True) -> ComputeBackend
     if not fallback:
         raise BackendUnavailableError(f"backend {backend.name!r} unavailable: {reason}")
     if backend.name not in _FALLBACK_WARNED:
-        _FALLBACK_WARNED.add(backend.name)
+        # warn-once cosmetics: a stale fork snapshot only repeats the
+        # warning in a worker, it never changes results
+        _FALLBACK_WARNED.add(backend.name)  # repro-lint: disable=KC003
         warnings.warn(
             f"compute backend {backend.name!r} unavailable ({reason}); "
             "falling back to 'numpy'",

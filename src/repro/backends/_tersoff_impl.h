@@ -153,11 +153,11 @@ void TFN(tersoff_eval_)(
         /* zeta_exp / zeta_exp_d_over, exponent clamped at +69 */
         const REAL delr = rij - rik;
         const REAL ld = l3 * delr;
-        const REAL expo = (mt[t] == 3.0) ? ld * ld * ld : ld;
+        const REAL expo = (mt[t] == (REAL)3.0) ? ld * ld * ld : ld;
         const REAL ex = R_EXP(expo < (REAL)69.0 ? expo : (REAL)69.0);
         const REAL exld = (expo >= (REAL)69.0)
                               ? (REAL)0.0
-                              : ((mt[t] == 3.0) ? (REAL)3.0 * l3 * ld * ld : l3);
+                              : ((mt[t] == (REAL)3.0) ? (REAL)3.0 * l3 * ld * ld : l3);
 
         const REAL contrib = fcik * g * ex;
         zeta[pt] += (double)contrib;

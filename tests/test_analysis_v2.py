@@ -1,0 +1,1356 @@
+"""Whole-program analyzer (``repro lint`` v2): call graph, KB/KC/KD
+families, interprocedural KA003/KA004, the KE C-kernel pass, the
+content-hash result cache, and ``--fix``.
+
+Per ISSUE 8: positive + negative + suppressed fixtures for every new
+rule, call-graph unit tests (one-level resolution, recursion/cycle
+tolerance), cache invalidation on content change, the acceptance
+deletions (one ``unlink``, one ``state_dict`` key, one fixed-order
+reduction), and proof that ``--fix`` output is bitwise-unchanged.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.cache import ResultCache, make_global_key
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.cli import _cmd_fix
+from repro.analysis.crules import check_c_source
+from repro.analysis.dataflow import collect_functions
+from repro.analysis.engine import LintConfig, expand_rule_selection, run_lint
+from repro.analysis.fixes import plan_fixes
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src"
+
+# every fixture file counts as kernel + physics + worker + C module
+EVERYWHERE = LintConfig(
+    kernel_modules=("",),
+    scatter_exempt_modules=("exempt_",),
+    physics_modules=("",),
+    worker_modules=("",),
+    c_modules=("",),
+)
+
+
+def lint_source(tmp_path, source, *, name="mod.py", config=EVERYWHERE, cache=None):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return run_lint([path], config=config, baseline=None, root=tmp_path, cache=cache)
+
+
+def rules_of(result):
+    return sorted(f.rule for f in result.findings)
+
+
+# ------------------------------------------------------------- call graph
+
+
+def graph_of(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return CallGraph.build(collect_functions(tree))
+
+
+class TestCallGraph:
+    def test_module_function_resolution(self):
+        g = graph_of(
+            """
+            def helper():
+                return 1
+
+            def caller():
+                return helper()
+            """
+        )
+        assert {s.callee for s in g.callsites("caller")} == {"helper"}
+        assert g.reach("caller", depth=1) == {"caller", "helper"}
+
+    def test_self_method_resolution(self):
+        g = graph_of(
+            """
+            class C:
+                def helper(self):
+                    return 1
+
+                def caller(self):
+                    return self.helper()
+            """
+        )
+        assert {s.callee for s in g.callsites("C.caller")} == {"C.helper"}
+
+    def test_unresolved_calls_stay_silent(self):
+        g = graph_of(
+            """
+            import os
+
+            def caller(obj):
+                os.getcwd()      # imported module attr
+                obj.method()     # unknown receiver
+                unknown_fn()     # undefined name
+            """
+        )
+        assert g.callsites("caller") == []
+
+    def test_one_level_depth_bound(self):
+        g = graph_of(
+            """
+            def c():
+                return 1
+
+            def b():
+                return c()
+
+            def a():
+                return b()
+            """
+        )
+        assert g.reach("a", depth=1) == {"a", "b"}
+        assert g.reach("a", depth=2) == {"a", "b", "c"}
+
+    def test_recursion_terminates(self):
+        g = graph_of(
+            """
+            def f(n):
+                return f(n - 1) if n else 0
+            """
+        )
+        assert g.reach("f", depth=5) == {"f"}
+
+    def test_mutual_recursion_terminates(self):
+        g = graph_of(
+            """
+            def even(n):
+                return True if n == 0 else odd(n - 1)
+
+            def odd(n):
+                return False if n == 0 else even(n - 1)
+            """
+        )
+        assert g.reach("even", depth=10) == {"even", "odd"}
+
+    def test_referenced_function_is_reachable(self):
+        # a cleanup callback handed to a finalizer is "reached" without
+        # being called — KC001 relies on this
+        g = graph_of(
+            """
+            import weakref
+
+            def cleanup(shm):
+                shm.unlink()
+
+            def creator(self):
+                weakref.finalize(self, cleanup, None)
+            """
+        )
+        assert "cleanup" in g.reach("creator", depth=1)
+
+
+# -------------------------------------------------- interprocedural KA003
+
+
+HOT_PREFIX = "import numpy as np\nfrom repro.analysis import hot_path\n"
+
+
+def prog(prefix, body):
+    """Concatenate a flush-left prefix with an indented test body."""
+    return prefix + textwrap.dedent(body)
+
+
+class TestInterproceduralKA003:
+    def test_helper_hidden_allocation_flagged_at_call_site(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            prog(
+                HOT_PREFIX,
+                """
+                def helper(n):
+                    return np.zeros(n, dtype=np.float64)
+
+                @hot_path(reason="t")
+                def hot(n):
+                    return helper(n)
+                """,
+            ),
+        )
+        assert "KA003" in rules_of(res)
+        (f,) = [f for f in res.findings if f.rule == "KA003"]
+        assert "helper" in f.message and "hot" in f.message
+
+    def test_workspace_helper_is_clean(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            prog(
+                HOT_PREFIX,
+                """
+                def helper(ws, n):
+                    return ws.buf("x", n, np.float64)
+
+                @hot_path(reason="t")
+                def hot(ws, n):
+                    return helper(ws, n)
+                """,
+            ),
+        )
+        assert "KA003" not in rules_of(res)
+
+    def test_hot_callee_not_double_reported(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            prog(
+                HOT_PREFIX,
+                """
+                @hot_path(reason="t")
+                def helper(n):
+                    return np.zeros(n, dtype=np.float64)
+
+                @hot_path(reason="t")
+                def hot(n):
+                    return helper(n)
+                """,
+            ),
+        )
+        ka003 = [f for f in res.findings if f.rule == "KA003"]
+        assert len(ka003) == 1  # only the callee's own finding
+
+    def test_suppressed_helper_allocation_does_not_refire(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            prog(
+                HOT_PREFIX,
+                """
+                def helper(n):
+                    return np.zeros(n, dtype=np.float64)  # repro-lint: disable=KA003
+
+                @hot_path(reason="t")
+                def hot(n):
+                    return helper(n)
+                """,
+            ),
+        )
+        assert "KA003" not in rules_of(res)
+
+
+# -------------------------------------------------- interprocedural KA004
+
+
+class TestInterproceduralKA004:
+    HELPER = "import numpy as np\n\ndef helper(x):\n    return np.sqrt(x)\n"
+
+    def test_masked_data_to_unguarded_helper(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            prog(
+                self.HELPER,
+                """
+                def kernel(r, mask, cd):
+                    inv = np.where(mask, r, 1.0).astype(cd)
+                    return helper(inv)
+                """,
+            ),
+        )
+        assert "KA004" in rules_of(res)
+
+    def test_call_site_inside_errstate_is_guarded(self, tmp_path):
+        # errstate is dynamically scoped: the caller's block covers the
+        # helper's math
+        res = lint_source(
+            tmp_path,
+            prog(
+                self.HELPER,
+                """
+                def kernel(r, mask, cd):
+                    inv = np.where(mask, r, 1.0).astype(cd)
+                    with np.errstate(invalid="ignore", divide="ignore"):
+                        out = helper(inv)
+                    return out
+                """,
+            ),
+        )
+        assert "KA004" not in rules_of(res)
+
+    def test_masked_helper_checked_directly_not_via_caller(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def helper(x, mask):
+                with np.errstate(invalid="ignore"):
+                    y = np.sqrt(x)
+                return np.where(mask, y, 0.0)
+
+            def kernel(r, mask, cd):
+                inv = np.where(mask, r, 1.0).astype(cd)
+                return helper(inv, mask)
+            """,
+        )
+        assert "KA004" not in rules_of(res)
+
+    def test_untracked_arguments_stay_silent(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            prog(
+                self.HELPER,
+                """
+                def kernel(r, mask, n):
+                    keep = np.where(mask, r, 0.0)
+                    return helper(n)  # plain int, not lane data
+                """,
+            ),
+        )
+        assert "KA004" not in rules_of(res)
+
+
+# ----------------------------------------------------------------- KB001
+
+
+class TestKB001HashOrderIteration:
+    def test_set_iteration_accumulating(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def reduce_energy(parts):
+                total = 0.0
+                for p in {1.0, 2.0, 3.0}:
+                    total += p
+                return total
+            """,
+        )
+        assert "KB001" in rules_of(res)
+
+    def test_dict_view_iteration_accumulating(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def reduce_energy(per_rank):
+                total = 0.0
+                for rank, e in per_rank.items():
+                    total += e
+                return total
+            """,
+        )
+        assert "KB001" in rules_of(res)
+
+    def test_sorted_iteration_is_the_approved_fix(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def reduce_energy(per_rank):
+                total = 0.0
+                for rank in sorted(per_rank):
+                    total += per_rank[rank]
+                return total
+            """,
+        )
+        assert "KB001" not in rules_of(res)
+
+    def test_removing_the_fixed_order_reduction_fires(self, tmp_path):
+        # the acceptance deletion: drop sorted() from a clean reduction
+        clean = """
+            def reduce_energy(per_rank):
+                total = 0.0
+                for rank, e in sorted(per_rank.items()):
+                    total += e
+                return total
+            """
+        broken = clean.replace("sorted(per_rank.items())", "per_rank.items()")
+        assert "KB001" not in rules_of(lint_source(tmp_path, clean))
+        assert "KB001" in rules_of(lint_source(tmp_path, broken, name="broken.py"))
+
+    def test_non_accumulating_loop_is_clean(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def describe(per_rank):
+                out = []
+                for k, v in per_rank.items():
+                    out.append((k, v))
+                return out
+            """,
+        )
+        assert "KB001" not in rules_of(res)
+
+    def test_non_physics_module_is_clean(self, tmp_path):
+        cfg = LintConfig(kernel_modules=("",), physics_modules=("nowhere/",))
+        res = lint_source(
+            tmp_path,
+            """
+            def f(d):
+                t = 0.0
+                for v in d.values():
+                    t += v
+                return t
+            """,
+            config=cfg,
+        )
+        assert "KB001" not in rules_of(res)
+
+    def test_suppressed(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def f(d):
+                t = 0.0
+                for v in d.values():  # repro-lint: disable=KB001
+                    t += v
+                return t
+            """,
+        )
+        assert "KB001" not in rules_of(res)
+        assert any(f.rule == "KB001" for f in res.suppressed)
+
+
+# ----------------------------------------------------------------- KB002
+
+
+class TestKB002UnseededRandom:
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "rng = np.random.default_rng()",
+            "rng = np.random.RandomState()",
+            "v = np.random.normal(0.0, 1.0, 3)",
+            "np.random.seed(0)",
+            "v = random.random()",
+            "random.shuffle(items)",
+        ],
+    )
+    def test_positive(self, tmp_path, stmt):
+        res = lint_source(
+            tmp_path,
+            f"""
+            import random
+            import numpy as np
+
+            def init_velocities(items):
+                {stmt}
+            """,
+        )
+        assert "KB002" in rules_of(res)
+
+    @pytest.mark.parametrize(
+        "stmt",
+        [
+            "rng = np.random.default_rng(seed)",
+            "rng = np.random.default_rng(np.random.SeedSequence(seed))",
+            "v = rng.normal(0.0, 1.0, 3)",
+        ],
+    )
+    def test_negative_seeded(self, tmp_path, stmt):
+        res = lint_source(
+            tmp_path,
+            f"""
+            import numpy as np
+
+            def init_velocities(seed, rng):
+                {stmt}
+            """,
+        )
+        assert "KB002" not in rules_of(res)
+
+    def test_suppressed(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            import numpy as np
+
+            def demo_only():
+                return np.random.normal()  # repro-lint: disable=KB002
+            """,
+        )
+        assert "KB002" not in rules_of(res)
+        assert any(f.rule == "KB002" for f in res.suppressed)
+
+
+# ----------------------------------------------------------------- KB003
+
+
+class TestKB003HashOrderReduction:
+    def test_sum_over_dict_values(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def total_energy(per_rank):
+                return sum(per_rank.values())
+            """,
+        )
+        assert "KB003" in rules_of(res)
+
+    def test_fsum_over_set(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            import math
+
+            def f(parts):
+                s = set(parts)
+                return math.fsum(s)
+            """,
+        )
+        assert "KB003" in rules_of(res)
+
+    def test_generator_over_dict(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def f(d):
+                return sum(v * v for v in d.values())
+            """,
+        )
+        assert "KB003" in rules_of(res)
+
+    def test_sum_over_sorted_is_clean(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def f(d):
+                return sum(v for k, v in sorted(d.items()))
+            """,
+        )
+        assert "KB003" not in rules_of(res)
+
+    def test_sum_over_list_is_clean(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def f(parts):
+                return sum(parts)
+            """,
+        )
+        assert "KB003" not in rules_of(res)
+
+    def test_suppressed(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def nbytes(bufs):
+                # integer sum: exact
+                return sum(b.nbytes for b in bufs.values())  # repro-lint: disable=KB003
+            """,
+        )
+        assert "KB003" not in rules_of(res)
+        assert any(f.rule == "KB003" for f in res.suppressed)
+
+
+# ----------------------------------------------------------------- KC001
+
+
+SHM_OK = """
+    import weakref
+    from multiprocessing.shared_memory import SharedMemory
+
+    def _cleanup(shm):
+        shm.close()
+        shm.unlink()
+
+    class Host:
+        def start(self):
+            try:
+                shm = SharedMemory(create=True, size=64)
+            except Exception:
+                raise
+            weakref.finalize(self, _cleanup, shm)
+            return shm
+"""
+
+
+class TestKC001SharedMemory:
+    def test_guarded_with_finalizer_and_unlink_is_clean(self, tmp_path):
+        assert "KC001" not in rules_of(lint_source(tmp_path, SHM_OK))
+
+    def test_deleting_the_unlink_fires(self, tmp_path):
+        # the acceptance deletion: remove the single unlink call
+        broken = SHM_OK.replace("shm.unlink()", "pass")
+        res = lint_source(tmp_path, broken)
+        (f,) = [f for f in res.findings if f.rule == "KC001"]
+        assert "unlink" in f.message
+
+    def test_unguarded_creation_fires(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def make():
+                shm = SharedMemory(create=True, size=64)
+                shm.unlink()
+                return shm
+            """,
+        )
+        (f,) = [f for f in res.findings if f.rule == "KC001"]
+        assert "exception-guarded" in f.message
+
+    def test_attach_only_is_out_of_scope(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def attach(name):
+                return SharedMemory(name=name)
+            """,
+        )
+        assert "KC001" not in rules_of(res)
+
+    def test_unlink_in_called_helper_counts(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def _drop(shm):
+                shm.unlink()
+
+            def make():
+                try:
+                    shm = SharedMemory(create=True, size=64)
+                except Exception:
+                    raise
+                _drop(shm)
+            """,
+        )
+        assert "KC001" not in rules_of(res)
+
+    def test_suppressed(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            from multiprocessing.shared_memory import SharedMemory
+
+            def leak_for_test():
+                return SharedMemory(create=True, size=64)  # repro-lint: disable=KC001
+            """,
+        )
+        assert "KC001" not in rules_of(res)
+        assert any(f.rule == "KC001" for f in res.suppressed)
+
+
+# ----------------------------------------------------------------- KC002
+
+
+EXEC_CLASS_OK = """
+    class Engine:
+        def __init__(self):
+            self._exec = ProcessPoolExecutor(4)
+
+        def close(self):
+            self._exec.shutdown()
+"""
+
+
+class TestKC002ExecutorLifecycle:
+    def test_class_with_close_method_is_clean(self, tmp_path):
+        assert "KC002" not in rules_of(lint_source(tmp_path, EXEC_CLASS_OK))
+
+    def test_deleting_the_shutdown_fires(self, tmp_path):
+        broken = EXEC_CLASS_OK.replace("self._exec.shutdown()", "pass")
+        res = lint_source(tmp_path, broken)
+        (f,) = [f for f in res.findings if f.rule == "KC002"]
+        assert "_exec" in f.message
+
+    def test_local_with_finally_is_clean(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def run(tasks):
+                ex = ProcessPoolExecutor(2)
+                try:
+                    return list(ex.map(str, tasks))
+                finally:
+                    ex.shutdown()
+            """,
+        )
+        assert "KC002" not in rules_of(res)
+
+    def test_local_without_finally_fires(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def run(tasks):
+                ex = ProcessPoolExecutor(2)
+                out = list(ex.map(str, tasks))
+                ex.shutdown()
+                return out
+            """,
+        )
+        assert "KC002" in rules_of(res)
+
+    def test_context_manager_is_clean(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def run(tasks):
+                with ProcessPoolExecutor(2) as ex:
+                    return list(ex.map(str, tasks))
+            """,
+        )
+        assert "KC002" not in rules_of(res)
+
+    def test_ownership_transfer_via_return_is_clean(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def make_executor(kind):
+                ex = ProcessPoolExecutor(2)
+                return ex
+            """,
+        )
+        assert "KC002" not in rules_of(res)
+
+    def test_dropped_creation_fires(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def oops():
+                ProcessPoolExecutor(2)
+            """,
+        )
+        (f,) = [f for f in res.findings if f.rule == "KC002"]
+        assert "dropped" in f.message
+
+    def test_suppressed(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def run(tasks):
+                ex = ProcessPoolExecutor(2)  # repro-lint: disable=KC002
+                out = list(ex.map(str, tasks))
+                ex.shutdown()
+                return out
+            """,
+        )
+        assert "KC002" not in rules_of(res)
+        assert any(f.rule == "KC002" for f in res.suppressed)
+
+
+# ----------------------------------------------------------------- KC003
+
+
+class TestKC003ForkCapturedGlobal:
+    def test_global_rebind_fires(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            _HANDLE = None
+
+            def load():
+                global _HANDLE
+                _HANDLE = object()
+                return _HANDLE
+            """,
+        )
+        assert "KC003" in rules_of(res)
+
+    def test_subscript_store_fires(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            _CACHE = {}
+
+            def put(k, v):
+                _CACHE[k] = v
+            """,
+        )
+        assert "KC003" in rules_of(res)
+
+    def test_mutating_method_fires(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            _SEEN = set()
+
+            def mark(name):
+                _SEEN.add(name)
+            """,
+        )
+        assert "KC003" in rules_of(res)
+
+    def test_read_only_global_is_clean(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            _TABLE = {"a": 1}
+
+            def get(k):
+                return _TABLE[k]
+            """,
+        )
+        assert "KC003" not in rules_of(res)
+
+    def test_non_worker_module_is_clean(self, tmp_path):
+        cfg = LintConfig(kernel_modules=("",), worker_modules=("nowhere/",))
+        res = lint_source(
+            tmp_path,
+            """
+            _CACHE = {}
+
+            def put(k, v):
+                _CACHE[k] = v
+            """,
+            config=cfg,
+        )
+        assert "KC003" not in rules_of(res)
+
+    def test_suppressed(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            _CACHE = {}
+
+            def put(k, v):
+                # per-process lazy cache, workers rebuild their own
+                _CACHE[k] = v  # repro-lint: disable=KC003
+            """,
+        )
+        assert "KC003" not in rules_of(res)
+        assert any(f.rule == "KC003" for f in res.suppressed)
+
+
+# ----------------------------------------------------------------- KD001
+
+
+THERMOSTAT_OK = """
+    import numpy as np
+
+    class NoseHoover:
+        def __init__(self, q):
+            self.q = q
+            self.xi = 0.0
+            self.history = []
+
+        def half_step(self, ke):
+            self.xi += ke
+            self.history.append(ke)
+
+        def state_dict(self):
+            return {"xi": self.xi, "history": list(self.history)}
+
+        def load_state_dict(self, state):
+            self.xi = state["xi"]
+            self.history = list(state["history"])
+"""
+
+
+class TestKD001StateContract:
+    def test_complete_contract_is_clean(self, tmp_path):
+        assert "KD001" not in rules_of(lint_source(tmp_path, THERMOSTAT_OK))
+
+    def test_added_unserialized_attribute_fires(self, tmp_path):
+        # the acceptance fixture: a thermostat grows mutable run state
+        # that state_dict never captures
+        grown = THERMOSTAT_OK.replace(
+            "self.xi = 0.0",
+            "self.xi = 0.0\n            self.drift = np.zeros(3, dtype=np.float64)",
+        ).replace("self.xi += ke", "self.xi += ke\n            self.drift += ke")
+        res = lint_source(tmp_path, grown)
+        (f,) = [f for f in res.findings if f.rule == "KD001"]
+        assert "'drift'" in f.message
+
+    def test_deleting_a_state_dict_key_fires(self, tmp_path):
+        # the acceptance deletion: stop serializing history
+        broken = THERMOSTAT_OK.replace(
+            '"history": list(self.history)', '"history": []'
+        ).replace('self.history = list(state["history"])', "pass")
+        res = lint_source(tmp_path, broken)
+        (f,) = [f for f in res.findings if f.rule == "KD001"]
+        assert "'history'" in f.message
+
+    def test_restore_only_coverage_counts(self, tmp_path):
+        # an attribute written by set_state but absent from get_state
+        # (derived on restore) satisfies the contract
+        res = lint_source(
+            tmp_path,
+            """
+            class NeighborLike:
+                def __init__(self, box):
+                    self._box = box
+                    self.n_builds = 0
+
+                def build(self, box):
+                    self._box = box
+                    self.n_builds += 1
+
+                def get_state(self):
+                    return {"n_builds": self.n_builds}
+
+                def set_state(self, state, box):
+                    self.n_builds = state["n_builds"]
+                    self._box = box
+            """,
+        )
+        assert "KD001" not in rules_of(res)
+
+    def test_one_hop_helper_coverage_counts(self, tmp_path):
+        # restore_state delegates the actual attribute writes to a
+        # helper method — one call-graph hop must see through it; the
+        # attribute appears NOWHERE else in the serialization surface
+        res = lint_source(
+            tmp_path,
+            """
+            class Engine:
+                def __init__(self):
+                    self.steps = 0
+
+                def step(self):
+                    self.steps += 1
+
+                def get_state(self):
+                    return {"version": 1}
+
+                def restore_state(self, state):
+                    self._apply(state)
+
+                def _apply(self, state):
+                    self.steps = state["steps"]
+            """,
+        )
+        assert "KD001" not in rules_of(res)
+
+    def test_config_attributes_are_not_state(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            class T:
+                def __init__(self, tau, dt):
+                    self.tau = tau
+                    self.dt = dt
+                    self.xi = 0.0
+
+                def half_step(self):
+                    self.xi += self.dt
+
+                def state_dict(self):
+                    return {"xi": self.xi}
+            """,
+        )
+        assert "KD001" not in rules_of(res)
+
+    def test_class_without_state_methods_is_out_of_scope(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            class Plain:
+                def __init__(self):
+                    self.items = []
+
+                def add(self, x):
+                    self.items.append(x)
+            """,
+        )
+        assert "KD001" not in rules_of(res)
+
+    def test_suppressed(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            class E:
+                def __init__(self):
+                    self.steps = 0
+                    # telemetry only, rebuilt on first step after restore
+                    self.last = None  # repro-lint: disable=KD001
+
+                def step(self):
+                    self.steps += 1
+                    self.last = object()
+
+                def get_state(self):
+                    return {"steps": self.steps}
+            """,
+        )
+        assert "KD001" not in rules_of(res)
+        assert any(f.rule == "KD001" for f in res.suppressed)
+
+
+# ------------------------------------------------------------ KE (C pass)
+
+
+C_OK = """\
+#define REAL double
+#define HALF_PI_D 1.5707963267948966
+
+static inline REAL fc(const REAL r, const REAL cut) {
+    const REAL x = (REAL)0.5 * r; /* a 0.5 in a comment stays free */
+    const char *msg = "literal 2.5 in a string stays free";
+    (void)msg;
+    return x < (REAL)1.0 ? x : (REAL)1.0;
+}
+
+void eval(const double *restrict xs, double *out, int n) {
+    double acc = 0.0; /* repro-lint: disable=KE001,KE002 */
+    for (int i = 0; i < n; ++i) acc += (double)xs[i];
+    out[0] = acc;
+    memset(out, 0, (size_t)n * sizeof(double));
+}
+"""
+
+
+class TestKERules:
+    def lint_c(self, tmp_path, source, *, name="kern.c", config=EVERYWHERE):
+        path = tmp_path / name
+        path.write_text(source)
+        return run_lint([path], config=config, baseline=None, root=tmp_path)
+
+    def test_disciplined_template_is_clean(self, tmp_path):
+        res = self.lint_c(tmp_path, C_OK)
+        assert res.findings == [], [f.render() for f in res.findings]
+
+    def test_bare_literal_fires(self):
+        findings = check_c_source("k.c", "REAL x = 3.0 * y;\n")
+        assert [f.rule for f in findings] == ["KE002"]
+
+    def test_real_cast_literal_is_clean(self):
+        assert check_c_source("k.c", "REAL x = (REAL)3.0 * y;\n") == []
+
+    def test_double_cast_literal_is_clean(self):
+        assert check_c_source("k.c", "acc += (double)0.5;\n") == []
+
+    def test_define_line_is_clean(self):
+        assert check_c_source("k.c", "#define PI_D 3.14159265358979\n") == []
+
+    def test_scalar_double_declaration_fires(self):
+        findings = check_c_source("k.c", "const double acc = x;\n")
+        assert [f.rule for f in findings] == ["KE001"]
+
+    def test_pointer_declaration_is_clean(self):
+        assert check_c_source("k.c", "const double *restrict pd = xs;\n") == []
+
+    def test_sizeof_double_is_clean(self):
+        assert check_c_source("k.c", "memset(p, 0, n * sizeof(double));\n") == []
+
+    def test_comment_and_string_content_is_free(self):
+        src = '/* double x = 1.0; */ const char *s = "double 2.0";\n'
+        assert check_c_source("k.c", src) == []
+
+    def test_c_comment_suppression(self, tmp_path):
+        src = "double acc = 1.5; /* repro-lint: disable=KE001,KE002 */\n"
+        res = self.lint_c(tmp_path, src)
+        assert res.findings == []
+        assert {f.rule for f in res.suppressed} == {"KE001", "KE002"}
+
+    def test_c_file_wide_suppression(self, tmp_path):
+        src = "/* repro-lint: disable-file=KE002 */\nREAL x = 2.5;\n"
+        res = self.lint_c(tmp_path, src)
+        assert res.findings == []
+
+    def test_non_c_module_paths_are_skipped(self, tmp_path):
+        cfg = LintConfig(c_modules=("nowhere/",))
+        res = self.lint_c(tmp_path, "double x = 1.5;\n", config=cfg)
+        assert res.findings == []
+
+    def test_repo_c_kernels_are_clean(self):
+        res = run_lint(
+            [SRC / "repro" / "backends"],
+            config=LintConfig(enabled_rules=("KE",)),
+            baseline=None,
+            root=REPO_ROOT,
+        )
+        assert res.findings == [], [f.render() for f in res.findings]
+
+
+# ------------------------------------------------------- family selection
+
+
+class TestFamilySelection:
+    def test_family_token_expands(self):
+        assert expand_rule_selection(("KB",)) == ("KB001", "KB002", "KB003")
+
+    def test_mixed_ids_and_families(self):
+        ids = expand_rule_selection(("KA001", "KE"))
+        assert ids == ("KA001", "KE001", "KE002")
+
+    def test_unknown_token_raises(self):
+        with pytest.raises(ValueError, match="KZ"):
+            expand_rule_selection(("KZ",))
+
+    def test_selection_limits_rules_run(self, tmp_path):
+        source = """
+            import numpy as np
+
+            def f(d):
+                x = np.zeros(3)
+                return sum(d.values())
+            """
+        cfg_all = EVERYWHERE
+        cfg_kb = LintConfig(
+            kernel_modules=("",), physics_modules=("",), enabled_rules=("KB",)
+        )
+        assert {"KA001", "KB003"} <= set(rules_of(lint_source(tmp_path, source, config=cfg_all)))
+        assert rules_of(lint_source(tmp_path, source, config=cfg_kb, name="m2.py")) == ["KB003"]
+
+    def test_finding_carries_family_in_json(self, tmp_path):
+        res = lint_source(
+            tmp_path,
+            """
+            def f(d):
+                return sum(d.values())
+            """,
+        )
+        (f,) = [f for f in res.findings if f.rule == "KB003"]
+        assert f.as_dict()["family"] == "KB"
+        assert res.as_dict()["summary"]["by_family"]["KB"] == 1
+
+
+# ------------------------------------------------------------ result cache
+
+
+class TestResultCache:
+    SOURCE = """
+        import numpy as np
+
+        def f(n):
+            return np.zeros(n)
+        """
+
+    def test_second_run_hits_cache_with_identical_result(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        r1 = lint_source(tmp_path, self.SOURCE, cache=cache)
+        r2 = lint_source(tmp_path, self.SOURCE, cache=cache)
+        assert r1.files_cached == 0
+        assert r2.files_cached == r2.files_checked == 1
+        assert [f.as_dict() for f in r1.findings] == [f.as_dict() for f in r2.findings]
+        assert len(r1.suppressed) == len(r2.suppressed)
+
+    def test_content_change_invalidates(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        lint_source(tmp_path, self.SOURCE, cache=cache)
+        changed = self.SOURCE.replace("np.zeros(n)", "np.zeros(n, dtype=np.float64)")
+        r2 = lint_source(tmp_path, changed, cache=cache)
+        assert r2.files_cached == 0
+        assert r2.findings == []
+
+    def test_rule_selection_changes_global_key(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        lint_source(tmp_path, self.SOURCE, cache=cache)
+        cfg = LintConfig(kernel_modules=("",), enabled_rules=("KA001",))
+        r2 = lint_source(tmp_path, self.SOURCE, config=cfg, cache=cache)
+        assert r2.files_cached == 0  # different global key, no stale replay
+        assert rules_of(r2) == ["KA001"]
+
+    def test_cached_suppressions_replay(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        src = """
+            import numpy as np
+
+            def f(n):
+                return np.zeros(n)  # repro-lint: disable=KA001
+            """
+        r1 = lint_source(tmp_path, src, cache=cache)
+        r2 = lint_source(tmp_path, src, cache=cache)
+        assert r1.findings == [] and r2.findings == []
+        assert len(r2.suppressed) == 1 and r2.files_cached == 1
+
+    def test_corrupt_cache_is_discarded(self, tmp_path):
+        cache = tmp_path / "cache.json"
+        cache.write_text("{not json")
+        res = lint_source(tmp_path, self.SOURCE, cache=cache)
+        assert res.files_cached == 0
+        assert "KA001" in rules_of(res)
+        # and the run repaired it
+        assert json.loads(cache.read_text())["version"] == 1
+
+    def test_analyzer_salt_guards_key(self):
+        k1 = make_global_key(("KA001",), "cfg")
+        k2 = make_global_key(("KA002",), "cfg")
+        k3 = make_global_key(("KA001",), "other-cfg")
+        assert len({k1, k2, k3}) == 3
+
+    def test_cache_roundtrip_preserves_findings(self, tmp_path):
+        cache_path = tmp_path / "c.json"
+        rc = ResultCache.load(cache_path, "key")
+        res = lint_source(tmp_path, self.SOURCE)
+        rc.put("mod.py", "digest", list(res.findings), [])
+        rc.save()
+        rc2 = ResultCache.load(cache_path, "key")
+        hit = rc2.get("mod.py", "digest")
+        assert hit is not None
+        kept, suppressed = hit
+        assert [f.as_dict() for f in kept] == [f.as_dict() for f in res.findings]
+        assert suppressed == []
+        assert rc2.get("mod.py", "other-digest") is None
+
+
+# ------------------------------------------------------------------ --fix
+
+
+FIXABLE = """\
+import numpy as np
+
+
+def stage(n):
+    a = np.zeros(n)
+    b = np.empty((n, 3))
+    c = np.ones(4)
+    d = np.zeros(n, dtype=np.int64)     # already explicit: untouched
+    e = np.full(n, 2.0)                 # dtype follows fill value: untouched
+    f = np.arange(n)                    # dtype inferred: untouched
+    g = np.zeros(n)  # repro-lint: disable=KA001
+    h = np.zeros(
+        n
+    )                                   # multi-line: untouched
+    return a, b, c, d, e, f, g, h
+"""
+
+
+class TestFix:
+    def test_plan_targets_only_safe_sites(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(FIXABLE)
+        plan = plan_fixes([path], config=EVERYWHERE, root=tmp_path)
+        assert plan.errors == []
+        (fix,) = plan.fixes
+        assert fix.sites == 3
+        new = fix.new
+        assert "a = np.zeros(n, dtype=np.float64)" in new
+        assert "b = np.empty((n, 3), dtype=np.float64)" in new
+        assert "c = np.ones(4, dtype=np.float64)" in new
+        assert "np.full(n, 2.0)" in new
+        assert "np.arange(n)" in new
+        assert "g = np.zeros(n)  # repro-lint" in new
+        assert "h = np.zeros(\n" in new
+
+    def test_remaining_findings_are_the_unfixable_ones(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(FIXABLE)
+        plan = plan_fixes([path], config=EVERYWHERE, root=tmp_path)
+        plan.apply()
+        fixed = path.read_text()
+        ast.parse(fixed)
+        res = run_lint([path], config=EVERYWHERE, baseline=None, root=tmp_path)
+        # full/arange (dtype not pinnable) and the multi-line call are
+        # deliberately left for a human
+        lines = FIXABLE.splitlines()
+        expected = sorted(
+            lines.index(marker) + 1
+            for marker in (
+                "    e = np.full(n, 2.0)                 # dtype follows fill value: untouched",
+                "    f = np.arange(n)                    # dtype inferred: untouched",
+                "    h = np.zeros(",
+            )
+        )
+        assert [f.line for f in res.findings if f.rule == "KA001"] == expected
+
+    def test_fix_is_bitwise_unchanged(self, tmp_path):
+        path = tmp_path / "mod.py"
+        path.write_text(FIXABLE)
+        ns_before: dict = {}
+        exec(compile(FIXABLE, "mod", "exec"), ns_before)
+        before = ns_before["stage"](5)
+        plan = plan_fixes([path], config=EVERYWHERE, root=tmp_path)
+        plan.apply()
+        ns_after: dict = {}
+        exec(compile(path.read_text(), "mod", "exec"), ns_after)
+        after = ns_after["stage"](5)
+        for old, new in zip(before, after):
+            assert old.dtype == new.dtype
+            assert old.shape == new.shape
+        # every deterministic constructor must match bit for bit
+        # (index 1 is np.empty — contents indeterminate by definition)
+        for idx in (0, 2, 3, 4, 5, 6, 7):
+            assert before[idx].tobytes() == after[idx].tobytes()
+
+    def test_dry_run_prints_diff_and_writes_nothing(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(FIXABLE)
+        rc = _cmd_fix([path], EVERYWHERE, dry_run=True)
+        assert rc == 0
+        assert path.read_text() == FIXABLE  # untouched
+        out = capsys.readouterr().out
+        assert "+    a = np.zeros(n, dtype=np.float64)" in out
+        assert "3 site(s)" in out
+
+    def test_fix_rewrites(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text(FIXABLE)
+        rc = _cmd_fix([path], EVERYWHERE, dry_run=False)
+        assert rc == 0
+        assert "dtype=np.float64" in path.read_text()
+        assert "3 site(s)" in capsys.readouterr().out
+
+
+# --------------------------------------------------------- self-lint gate
+
+
+class TestSelfLintV2:
+    def test_repo_is_clean_under_the_full_rule_set(self):
+        # KB/KC/KD/KE + interprocedural KA over the whole tree, no
+        # baseline: the committed tree must be contract-clean
+        res = run_lint([SRC / "repro"], config=LintConfig(), baseline=None, root=REPO_ROOT)
+        assert res.errors == []
+        assert res.findings == [], "\n".join(f.render() for f in res.findings)
+
+    def test_committed_baseline_stays_empty(self):
+        data = json.loads((REPO_ROOT / ".repro-lint-baseline.json").read_text())
+        assert data["findings"] == []
+
+    def test_c_kernels_are_linted(self):
+        res = run_lint([SRC / "repro"], config=LintConfig(), baseline=None, root=REPO_ROOT)
+        # the REAL-template sources are part of the checked set
+        assert res.files_checked > 90
+
+
+# --------------------------------------------------------- CLI (families)
+
+
+def run_cli(*args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC)
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+@pytest.mark.slow
+class TestLintCLIv2:
+    def test_family_selection(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(d):\n    return sum(d.values())\n")
+        proc = run_cli(
+            str(bad), "--no-baseline", "--no-cache", "--rules", "KB,KC",
+            "--format=json", cwd=REPO_ROOT,
+        )
+        data = json.loads(proc.stdout)
+        # tmp dirs are not physics modules under the default config, so
+        # this asserts the selection machinery, not a finding
+        assert data["summary"]["exit_code"] in (0, 1)
+        assert proc.returncode == data["summary"]["exit_code"]
+
+    def test_unknown_family_exits_2(self, tmp_path):
+        proc = run_cli("--rules", "KX", cwd=REPO_ROOT)
+        assert proc.returncode == 2
+        assert "KX" in proc.stderr
+
+    def test_warm_cache_run_is_fast_and_identical(self, tmp_path):
+        import time
+
+        cache = tmp_path / "cache.json"
+        cold = run_cli("--no-baseline", "--cache", str(cache), "--format=json", cwd=REPO_ROOT)
+        assert cold.returncode == 0, cold.stdout + cold.stderr
+        t0 = time.perf_counter()
+        warm = run_cli("--no-baseline", "--cache", str(cache), "--format=json", cwd=REPO_ROOT)
+        warm_s = time.perf_counter() - t0
+        assert warm.returncode == 0
+        cold_d, warm_d = json.loads(cold.stdout), json.loads(warm.stdout)
+        assert warm_d["files_cached"] == warm_d["files_checked"] > 0
+        assert cold_d["findings"] == warm_d["findings"]
+        # the CI budget is 10 s; leave headroom for slow runners here
+        assert warm_s < 10.0, f"warm self-lint took {warm_s:.1f}s"
+
+    def test_list_rules_covers_every_family(self):
+        proc = run_cli("--list-rules", cwd=REPO_ROOT)
+        assert proc.returncode == 0
+        for rule_id in ("KA001", "KB001", "KB002", "KB003", "KC001",
+                        "KC002", "KC003", "KD001", "KE001", "KE002"):
+            assert rule_id in proc.stdout
