@@ -6,6 +6,8 @@ Commands
     Library, ISA and machine inventory.
 ``run``
     Run an MD simulation of Tersoff (or SW) silicon and print thermo.
+``worker``
+    Listen as a cluster worker (``repro run --hosts`` connects to it).
 ``figure``
     Regenerate one of the paper's figures/tables (fig1..fig9, table1..3).
 ``sweep``
@@ -85,12 +87,64 @@ def _build_run_potential(potential: str, mode: str, cache: bool, backend: str | 
     return make_solver(params, mode, cache=cache, backend=backend), params.max_cutoff
 
 
+def _resolve_run_executor(args: argparse.Namespace):
+    """The ``executor=`` value for Simulation from the run flags.
+
+    ``--hosts`` builds a connected :class:`ClusterExecutor` (one worker
+    per address, ``--transport`` picking tcp vs unix framing);
+    ``--transport`` alone selects the spawned local socket pool; plain
+    ``--executor`` names pass through.  Returns ``(executor, workers)``
+    — hosts mode fixes the worker count to the address list.
+    """
+    hosts = [h.strip() for h in args.hosts.split(",") if h.strip()] if args.hosts else None
+    if hosts:
+        from repro.parallel.transport import ClusterExecutor
+
+        if args.executor is not None:
+            raise ValueError("--hosts already selects the cluster executor; drop --executor")
+        executor = ClusterExecutor(
+            args.workers, transport=args.transport or "tcp", hosts=hosts)
+        return executor, len(hosts)
+    if args.transport:
+        if args.executor not in (None, args.transport):
+            raise ValueError(
+                f"conflicting flags: --executor {args.executor} vs --transport {args.transport}")
+        return args.transport, args.workers
+    return args.executor, args.workers
+
+
+def _report_comm(sim) -> None:
+    """Print the measured-communication line for a parallel run."""
+    eng = sim.engine
+    if eng is None or not eng.comm_total.messages:
+        return
+    ct = eng.comm_total
+    line = (f"comm: {ct.bytes / 1e6:.2f} MB halo traffic in {ct.messages} messages, "
+            f"{ct.measured_time_s * 1e3:.1f} ms measured")
+    wire_fn = getattr(eng._exec, "wire_bytes", None)
+    if wire_fn is not None and not eng.closed:
+        sent, received = wire_fn()
+        line += f"; wire {sent / 1e6:.2f} MB out / {received / 1e6:.2f} MB in"
+    net = eng.calibrated_network()
+    if net is not None:
+        line += (f"\ncomm fit ({net.name}): latency {net.latency_s * 1e6:.1f} us, "
+                 f"bandwidth {net.bandwidth_Bps / 1e6:.0f} MB/s")
+    print(line)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.md.lattice import cells_for_atoms, diamond_lattice, seeded_velocities
     from repro.md.neighbor import NeighborSettings
     from repro.md.simulation import Simulation
     from repro.md.thermo import ThermoSample
+    from repro.parallel.executor import ExecutorError
     from repro.state import CheckpointError, load_checkpoint, restore_simulation
+
+    try:
+        executor, workers = _resolve_run_executor(args)
+    except (ValueError, ExecutorError) as exc:
+        print(f"run: {exc}", file=sys.stderr)
+        return 2
 
     if args.restart_from:
         # the checkpoint pins the physics configuration; CLI potential
@@ -116,7 +170,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             pot = SanitizedPotential(pot)
             print("sanitize: FP faults raise, force results NaN-guarded (debug mode)")
         try:
-            sim = restore_simulation(ck, pot, workers=args.workers, executor=args.executor)
+            sim = restore_simulation(ck, pot, workers=workers, executor=executor)
         except CheckpointError as exc:
             print(f"restart: {exc}", file=sys.stderr)
             return 2
@@ -141,8 +195,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         sim = Simulation(
             system, pot,
             neighbor=NeighborSettings(cutoff=cutoff, skin=args.skin),
-            workers=args.workers, ranks=args.ranks, sort=args.sort_domains,
-            executor=args.executor,
+            workers=workers, ranks=args.ranks, sort=args.sort_domains,
+            executor=executor,
         )
     run_config = {"potential": potential_name, "mode": mode, "cache": cache,
                   "backend": backend}
@@ -172,6 +226,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"imbalance {summary.get('imbalance_measured', summary['imbalance']):.2f}, "
               f"efficiency {summary.get('parallel_efficiency', 0.0):.2f}, "
               f"{summary['generations']} decompositions over {summary['steps']} steps")
+    _report_comm(sim)
     for line in _sink_report(sinks):
         print(line)
     for sink in sinks:
@@ -230,6 +285,18 @@ def _sink_report(sinks: list) -> list[str]:
             lines.append(f"checkpoint: {sink.checkpoints_written} writes -> {sink.path} "
                          f"(last at step {sink.last_step_written})")
     return lines
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.parallel.transport import TransportError, run_worker
+
+    try:
+        return run_worker(bind=args.bind, unix=args.unix, once=args.once)
+    except TransportError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
 
 
 def _cmd_telemetry_summarize(args: argparse.Namespace) -> int:
@@ -447,11 +514,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "the physics depends only on ranks, never on workers")
     p_run.add_argument("--sort-domains", action="store_true",
                        help="Morton-order rank-local atoms (locality optimization)")
-    p_run.add_argument("--executor", choices=("serial", "process", "fork", "spawn", "forkserver"),
+    p_run.add_argument("--executor",
+                       choices=("serial", "thread", "process", "fork", "spawn",
+                                "forkserver", "tcp", "unix"),
                        default=None,
                        help="execution backend for --workers (default: process pool via "
                             "fork where available; physics is bitwise identical across "
                             "executors)")
+    p_run.add_argument("--transport", choices=("tcp", "unix"), default=None,
+                       help="socket framing for the cluster executor (with --hosts: "
+                            "how to reach the workers; alone: spawn a local socket "
+                            "pool, same as --executor tcp/unix)")
+    p_run.add_argument("--hosts", default=None, metavar="ADDR,ADDR,...",
+                       help="connect to pre-started 'repro worker' listeners "
+                            "(host:port for tcp, socket paths for unix); one worker "
+                            "per address — the multi-node halo-exchange mode")
     p_run.add_argument("--sanitize", action="store_true",
                        help="debug: raise on FP faults and NaN-guard every force result")
     p_run.add_argument("--checkpoint", default=None, metavar="PATH",
@@ -472,6 +549,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--traj-every", type=int, default=10, metavar="N",
                        help="trajectory frame stride (default 10)")
     p_run.set_defaults(func=_cmd_run)
+
+    p_worker = sub.add_parser("worker", help="serve engine sessions as a cluster worker")
+    p_worker.add_argument("--bind", default=None, metavar="HOST:PORT",
+                          help="listen on a TCP address (port 0 picks a free one)")
+    p_worker.add_argument("--unix", default=None, metavar="PATH",
+                          help="listen on a unix-domain socket path")
+    p_worker.add_argument("--once", action="store_true",
+                          help="exit after serving one engine session")
+    p_worker.set_defaults(func=_cmd_worker)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper artifact")
     p_fig.add_argument("which", help="fig1..fig9, table1..table3, or 'all'")

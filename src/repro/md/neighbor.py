@@ -24,6 +24,23 @@ import numpy as np
 
 from repro.md.box import Box
 
+#: Above this atom count the binned builder refuses to fall back to the
+#: O(n^2) brute-force path silently — at 10^5+ atoms that fallback means
+#: tens of gigabytes of distance blocks and effectively a hang, always
+#: the symptom of a box too small (or not periodic) for its population.
+BRUTE_FORCE_MAX_ATOMS = 20_000
+
+
+class BruteForceFallbackError(ValueError):
+    """Binning was impossible for a system too large to brute-force.
+
+    Raised instead of silently running the O(n^2) reference path when a
+    periodic box has fewer than 3 bins along some axis but holds more
+    than :data:`BRUTE_FORCE_MAX_ATOMS` atoms.  Either the box is wrong
+    (too thin for ``cutoff + skin``) or the caller really wants the
+    quadratic path and should say so with ``build(..., brute_force=True)``.
+    """
+
 
 @dataclass(frozen=True)
 class NeighborSettings:
@@ -102,6 +119,15 @@ def _binned_pairs(x: np.ndarray, box: Box, rlist: float) -> tuple[np.ndarray, np
     lengths = box.lengths
     nbins = np.maximum((lengths // rlist).astype(np.int64), 1)
     if np.any(nbins[np.array(box.periodic)] < 3):
+        if n > BRUTE_FORCE_MAX_ATOMS:
+            short = lengths[np.array(box.periodic)].min() if np.any(box.periodic) else 0.0
+            raise BruteForceFallbackError(
+                f"cell binning needs >= 3 bins per periodic axis but the box "
+                f"(shortest periodic edge {short:.2f} A) fits fewer at list "
+                f"cutoff {rlist:.2f} A, and {n} atoms is too many for the "
+                f"O(n^2) fallback (limit {BRUTE_FORCE_MAX_ATOMS}); enlarge the "
+                f"box or pass build(..., brute_force=True) explicitly"
+            )
         return _brute_force_pairs(x, box, rlist)
     binsize = lengths / nbins
     frac = (x - box.lo) / binsize

@@ -272,12 +272,22 @@ class Simulation:
                 "redecomposed": step.redecomposed,
                 "any_rebuilt": step.any_rebuilt,
                 "timers": dict(tm),
+                "bytes_forward": step.bytes_forward,
+                "bytes_reverse": step.bytes_reverse,
+                "bytes_forward_full": step.bytes_forward_full,
+                "bytes_wire": step.bytes_wire,
+                "comm_measured_s": (
+                    0.0 if step.comm is None else step.comm.measured_time_s
+                ),
             }
         }
         cache = self.engine.cache_summary()
         if cache is not None:
             stats["cache"] = cache
-        result = ForceResult(energy=step.energy, forces=self.system.f, stats=stats)
+        result = ForceResult(
+            energy=step.energy, forces=self.system.f, virial=step.virial,
+            stats=stats,
+        )
         self.last_result = result
         return result
 

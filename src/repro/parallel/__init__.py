@@ -33,13 +33,23 @@ from repro.parallel.executor import (
     ExecutorError,
     ProcessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     WorkerFailure,
     make_executor,
 )
+from repro.parallel.transport import (
+    ClusterExecutor,
+    CorruptFrameError,
+    TornFrameError,
+    TransportError,
+    run_worker,
+)
 
 __all__ = [
+    "ClusterExecutor",
     "ClusterSpec",
     "CommRecord",
+    "CorruptFrameError",
     "DistributedRun",
     "DomainDecomposition",
     "EngineError",
@@ -54,7 +64,11 @@ __all__ = [
     "ProcessExecutor",
     "RankDomain",
     "SerialExecutor",
+    "ThreadExecutor",
+    "TornFrameError",
+    "TransportError",
     "WorkerCrash",
     "WorkerFailure",
     "make_executor",
+    "run_worker",
 ]

@@ -23,11 +23,20 @@ from repro.perf.network import (
 
 @dataclass
 class CommRecord:
-    """Accumulated traffic of one rank (or one stage)."""
+    """Accumulated traffic of one rank (or one stage).
+
+    Two time columns coexist: :meth:`add` books *modeled* seconds (an
+    alpha-beta :class:`NetworkModel` applied to the byte count — the
+    sequential-SPMD path), :meth:`add_measured` books *measured* wall
+    seconds (the engine's real wire/staging time).  A given record
+    normally uses one or the other; ``by_stage`` entries carry
+    ``[count, bytes, seconds]`` of whichever kind populated them.
+    """
 
     messages: int = 0
     bytes: int = 0
     modeled_time_s: float = 0.0
+    measured_time_s: float = 0.0
     by_stage: dict = field(default_factory=dict)
 
     def add(self, network: NetworkModel, nbytes: int, *, stage: str = "halo") -> None:
@@ -40,11 +49,22 @@ class CommRecord:
         entry[1] += int(nbytes)
         entry[2] += t
 
+    def add_measured(self, nbytes: int, seconds: float, *, stage: str = "halo") -> None:
+        """Record one *measured* exchange (wall seconds, not a model)."""
+        self.messages += 1
+        self.bytes += int(nbytes)
+        self.measured_time_s += float(seconds)
+        entry = self.by_stage.setdefault(stage, [0, 0, 0.0])
+        entry[0] += 1
+        entry[1] += int(nbytes)
+        entry[2] += float(seconds)
+
     def merged_with(self, other: "CommRecord") -> "CommRecord":
         out = CommRecord(
             messages=self.messages + other.messages,
             bytes=self.bytes + other.bytes,
             modeled_time_s=self.modeled_time_s + other.modeled_time_s,
+            measured_time_s=self.measured_time_s + other.measured_time_s,
         )
         for src in (self.by_stage, other.by_stage):
             # sorted: merged stage order (and float accumulation order)

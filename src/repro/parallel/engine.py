@@ -14,12 +14,18 @@ Architecture
   long-lived local :class:`~repro.md.neighbor.NeighborList` and its own
   potential instance — so the PR-2 interaction cache and workspace
   persist across steps and cache hits survive parallel execution.
-- **Shared-memory data plane.**  Positions are broadcast through one
-  ``multiprocessing.shared_memory`` block (``(n, 3)`` float64) and each
-  rank returns its local force block through a per-rank slab of a
-  second block (``(ranks, n, 3)`` float64).  Per step, only tiny
-  control messages cross the pipes — coordinate arrays are never
-  pickled.
+- **Ghost-only data plane.**  The host gathers each rank's owned+ghost
+  positions (``local_idx`` rows, typically a small multiple of
+  ``n/ranks``) and each rank returns only its local force slab — never
+  the full ``(n, 3)`` arrays.  Three transports carry that traffic:
+  shared-memory slabs (``halo_only=True``, the default: one
+  ``(ranks, n, 3)`` position block written sparsely), the legacy full
+  ``(n, 3)`` position broadcast (``halo_only=False``, kept as the
+  bandwidth contrast measured by ``parallel/halo-bytes``), and the
+  *wire* mode engaged automatically when the executor declares
+  ``wire_data_plane`` (the socket :class:`ClusterExecutor`): ghost
+  positions travel in the step payload and owned-force slabs in the
+  reply, so a multi-host step moves only halo-sized messages.
 - **Deterministic reduction.**  The host merges per-rank force blocks
   with :meth:`DomainDecomposition.reduce_forces` (fixed rank order,
   input-order scatters) and sums rank energies in rank order, so for a
@@ -54,6 +60,7 @@ from repro.md.atoms import AtomSystem
 from repro.md.box import Box
 from repro.md.neighbor import NeighborList, NeighborSettings
 from repro.md.potential import Potential
+from repro.parallel.comm import CommRecord
 from repro.parallel.decomposition import DomainDecomposition, blank_ghost_rows
 from repro.parallel.executor import (
     EngineExecutor,
@@ -93,21 +100,41 @@ class _RankState:
 
 
 @hot_path(reason="per-worker per-step evaluation; reuses persistent lists/caches")
-def _step_ranks(states: dict, X: np.ndarray, F: np.ndarray, box: Box) -> list[dict]:
-    """Evaluate every rank owned by this worker against positions `X`.
+def _step_ranks(
+    states: dict,
+    box: Box,
+    *,
+    X: np.ndarray | None = None,
+    XL: np.ndarray | None = None,
+    F: np.ndarray | None = None,
+    xblocks: dict | None = None,
+) -> list[dict]:
+    """Evaluate every rank owned by this worker.
 
-    Gathers each rank's local positions from the shared block, reuses
-    the persistent neighbor list via the skin criterion (rebuild +
-    ghost-row blanking only when needed, or when a new decomposition
+    Position sources, in priority order: ``xblocks[rank]`` (wire mode —
+    the ghost-region block arrived in the step payload), ``XL[rank]``
+    (halo-only shared slab, already gathered by the host), ``X`` (legacy
+    full broadcast, gathered here via ``local_idx``).  Each is a plain
+    elementwise copy into the rank's persistent position array, so all
+    three feed the kernel bit-identical coordinates.
+
+    Reuses the persistent neighbor list via the skin criterion (rebuild
+    + ghost-row blanking only when needed, or when a new decomposition
     forced it), runs the potential, and writes the local force block
-    into the rank's shared-memory slab.  Returns small per-rank stats
-    dicts — never coordinate arrays.
+    into the rank's shared-memory slab — or, in wire mode (``F is
+    None``), attaches it to the stats dict for the reply message.
     """
     out = []
     for rank in sorted(states):
         st = states[rank]
         t0 = time.perf_counter()
-        np.take(X, st.local_idx, axis=0, out=st.system.x)
+        m_local = st.local_idx.shape[0]
+        if xblocks is not None:
+            st.system.x[...] = xblocks[rank]
+        elif XL is not None:
+            st.system.x[...] = XL[rank, :m_local]
+        else:
+            np.take(X, st.local_idx, axis=0, out=st.system.x)
         if st.force_rebuild:
             st.neigh.build(st.system.x, box)
             rebuilt = True
@@ -120,13 +147,15 @@ def _step_ranks(states: dict, X: np.ndarray, F: np.ndarray, box: Box) -> list[di
         res = st.potential.compute(st.system, st.neigh)
         t2 = time.perf_counter()
         m = res.forces.shape[0]
-        F[rank, :m, :] = res.forces
+        if F is not None:
+            F[rank, :m, :] = res.forces
         timing = res.stats.get("timing", {})
         staging = min(max(float(timing.get("staging_s", 0.0)), 0.0), t2 - t1)
         warmup = min(max(float(timing.get("warmup_s", 0.0)), 0.0), (t2 - t1) - staging)
-        out.append({
+        info = {
             "rank": rank,
             "energy": res.energy,
+            "virial": res.virial,
             "n_local": m,
             "rebuilt": rebuilt,
             "neighbor_s": t1 - t0,
@@ -136,7 +165,13 @@ def _step_ranks(states: dict, X: np.ndarray, F: np.ndarray, box: Box) -> list[di
             "total_s": t2 - t0,
             "cache": res.stats.get("cache"),
             "pairs_in_cutoff": res.stats.get("pairs_in_cutoff"),
-        })
+        }
+        if F is None:
+            # wire reply: the force slab travels back in the message.
+            # Safe to send without copying — the serve loop transmits
+            # the reply before this rank's workspace is touched again.
+            info["forces"] = res.forces
+        out.append(info)
     return out
 
 
@@ -153,16 +188,19 @@ class WorkerHost:
 
     def __init__(
         self,
-        X: np.ndarray,
-        F: np.ndarray,
+        arrays: dict,
         box: Box,
         mass: np.ndarray,
         species: tuple,
         potential: Potential,
         settings: NeighborSettings,
     ):
-        self.X = X
-        self.F = F
+        # whichever data plane the engine chose: "x" (full broadcast),
+        # "xl" (halo-only slabs), or neither (wire mode — positions and
+        # forces travel in the step messages themselves)
+        self.X = arrays.get("x")
+        self.XL = arrays.get("xl")
+        self.F = arrays.get("f")
         self.box = box
         self.mass = mass
         self.species = species
@@ -174,7 +212,9 @@ class WorkerHost:
         if cmd == "ranks":
             return self._set_ranks(payload)
         if cmd == "step":
-            return _step_ranks(self.states, self.X, self.F, self.box)
+            xblocks = None if payload is None else payload.get("x")
+            return _step_ranks(self.states, self.box, X=self.X, XL=self.XL,
+                               F=self.F, xblocks=xblocks)
         if cmd == "listrefs":
             # checkpoint support: each rank's last list-build positions,
             # so a restart can rebuild the *same* list
@@ -243,9 +283,7 @@ class _HostFactory:
     settings: NeighborSettings
 
     def __call__(self, arrays) -> WorkerHost:
-        X = arrays["x"]
-        F = arrays["f"]
-        return WorkerHost(X, F, self.box, self.mass, self.species,
+        return WorkerHost(arrays, self.box, self.mass, self.species,
                           self.potential, self.settings)
 
 
@@ -255,11 +293,23 @@ class EngineStep:
 
     ``forces`` is a workspace view owned by the engine, valid until the
     next :meth:`ParallelEngine.compute` call — copy it to keep it.
-    ``timers`` holds measured seconds: ``comm_s`` (position broadcast,
+    ``timers`` holds measured seconds: ``comm_s`` (position staging,
     dispatch and synchronization wait), ``reduce_s`` (host rank-order
     reduction), ``decompose_s`` (decomposition rebuild, when one
     happened) and the busiest worker's ``neighbor_s`` / ``staging_s`` /
     ``kernel_s`` critical-path components.
+
+    Traffic accounting (bytes of position/force payload this step):
+    ``bytes_forward`` is what the active data plane actually moved to
+    the workers (ghost-region rows for halo-only and wire modes, the
+    full broadcast for the legacy plane), ``bytes_reverse`` the local
+    force slabs that came back, and ``bytes_forward_full`` the
+    counterfactual full-broadcast cost (``workers * n * 24``) the
+    halo-only plane is measured against.  ``bytes_wire`` is the
+    ``(sent, received)`` socket byte delta for this step when the
+    executor exposes a wire (framing overhead included), else ``None``.
+    ``comm`` is the step's *measured* :class:`CommRecord` (forward and
+    reverse stages split from ``comm_s``).
     """
 
     energy: float
@@ -269,6 +319,12 @@ class EngineStep:
     generation: int = 0
     redecomposed: bool = False
     any_rebuilt: bool = False
+    virial: float = 0.0
+    bytes_forward: int = 0
+    bytes_reverse: int = 0
+    bytes_forward_full: int = 0
+    bytes_wire: "tuple[int, int] | None" = None
+    comm: "CommRecord | None" = None
 
 
 class ParallelEngine:
@@ -304,15 +360,25 @@ class ParallelEngine:
         Explicit process grid (default: LAMMPS-style near-cubic).
     executor:
         Execution backend: ``"serial"`` (in-process, no subprocesses),
-        ``"fork"`` / ``"spawn"`` / ``"forkserver"`` (process pool with
-        that start method), ``"process"`` (process pool, platform
-        default method), or a ready :class:`EngineExecutor` instance.
-        Default: process pool via fork where available.  The physics is
-        bitwise identical across executors — they only move where the
-        rank evaluations run.
+        ``"thread"`` (persistent thread per worker; real overlap with
+        the GIL-releasing compiled kernel), ``"fork"`` / ``"spawn"`` /
+        ``"forkserver"`` (process pool with that start method),
+        ``"process"`` (process pool, platform default method),
+        ``"tcp"`` / ``"unix"`` (socket-transport cluster pool), or a
+        ready :class:`EngineExecutor` instance — e.g. a
+        :class:`~repro.parallel.transport.ClusterExecutor` connected to
+        remote hosts.  Default: process pool via fork where available.
+        The physics is bitwise identical across executors — they only
+        move where the rank evaluations run.
     start_method:
         Back-compat alias for ``executor="<method>"``; ``fork`` where
         available (fast, nothing pickled), else ``spawn``.
+    halo_only:
+        Shared-memory data plane choice: ``True`` (default) stages only
+        each rank's owned+ghost position rows into a per-rank slab;
+        ``False`` keeps the legacy full ``(n, 3)`` broadcast.  Bitwise
+        identical either way (measured by ``parallel/halo-bytes``).
+        Ignored by wire executors, which are always ghost-only.
     """
 
     def __init__(
@@ -327,6 +393,7 @@ class ParallelEngine:
         grid: tuple[int, int, int] | None = None,
         executor: "str | EngineExecutor | None" = None,
         start_method: str | None = None,
+        halo_only: bool = True,
     ):
         if workers < 1:
             raise EngineError("need at least one worker")
@@ -353,6 +420,9 @@ class ParallelEngine:
         # telemetry only: rebuilt by the first compute() after restore,
         # deliberately outside the checkpoint contract
         self.last_step: EngineStep | None = None  # repro-lint: disable=KD001
+        # measured traffic telemetry, same contract as last_step
+        self.comm_total = CommRecord()  # repro-lint: disable=KD001
+        self._comm_samples: list = []  # repro-lint: disable=KD001
         self._closed = False
 
         n = system.n
@@ -364,18 +434,35 @@ class ParallelEngine:
         # a ready-made executor fixes the pool size; follow it (still
         # never more submit targets than ranks)
         self.workers = min(self._exec.workers, ranks)
+        self.halo_only = bool(halo_only)
+        # wire executors (sockets) carry positions/forces in the step
+        # messages themselves; no shared arrays at all.
+        self._wire = bool(getattr(self._exec, "wire_data_plane", False))
+        if self._wire:
+            specs = {}
+        elif self.halo_only:
+            specs = {"xl": ((ranks, n, 3), "float64"),
+                     "f": ((ranks, n, 3), "float64")}
+        else:
+            specs = {"x": ((n, 3), "float64"), "f": ((ranks, n, 3), "float64")}
         views = self._exec.start(
             _HostFactory(
                 n_atoms=n, n_ranks=ranks, box=system.box,
                 mass=system.mass.copy(), species=system.species,
                 potential=potential, settings=self.settings,
             ),
-            {"x": ((n, 3), "float64"), "f": ((ranks, n, 3), "float64")},
+            specs,
         )
         # per-call staging in executor shared memory: repopulated from the
         # caller's positions on every compute(), never persistent state
-        self._X = views["x"]  # repro-lint: disable=KD001
-        self._F = views["f"]
+        self._X = views.get("x")  # repro-lint: disable=KD001
+        self._XL = views.get("xl")  # repro-lint: disable=KD001
+        # wire mode: host-local reduction buffer, filled from replies
+        self._F = views.get("f")  # repro-lint: disable=KD001
+        if self._F is None:
+            self._F = np.zeros((ranks, n, 3), dtype=np.float64)
+        self._local_rows = 0  # repro-lint: disable=KD001
+        self._wire_prev = (0, 0)  # repro-lint: disable=KD001
 
     # -- decomposition lifecycle --------------------------------------------------
 
@@ -408,6 +495,9 @@ class ParallelEngine:
         )
         self._x_ref = snapshot.x
         self.generation += 1
+        # total owned+ghost rows across ranks: the per-step ghost-only
+        # traffic is this many position (forward) and force (reverse) rows
+        self._local_rows = sum(d.local_idx.shape[0] for d in self._dd.domains)
         payloads: list[list[dict]] = [[] for _ in range(self.workers)]
         for dom in self._dd.domains:
             payloads[self._worker_of(dom.rank)].append({
@@ -421,10 +511,18 @@ class ParallelEngine:
     def _dispatch(self, cmd: str, payloads: list | None = None) -> list:
         """Send `cmd` to every worker, collect replies in worker order."""
         futs = [
-            self._exec.submit(w, cmd, None if payloads is None else payloads[w])
+            self._submit(w, cmd, None if payloads is None else payloads[w])
             for w in range(self.workers)
         ]
         return [self._result(w, fut) for w, fut in enumerate(futs)]
+
+    def _submit(self, worker: int, cmd: str, payload=None):
+        # wire executors can already detect a dead peer at send time
+        try:
+            return self._exec.submit(worker, cmd, payload)
+        except WorkerFailure as exc:
+            self.close()
+            raise WorkerCrash(exc.worker, exc.remote_traceback) from exc
 
     def _result(self, worker: int, fut):
         try:
@@ -445,17 +543,43 @@ class ParallelEngine:
         if redecomposed:
             self._decompose(x)
         t1 = time.perf_counter()
-        self._X[:] = x
-        futs = [self._exec.submit(w, "step") for w in range(self.workers)]
+        if self._wire:
+            # ghost-only wire payload: each worker gets just the position
+            # rows its ranks own (plus ghosts), keyed by rank
+            blocks: list[dict] = [{} for _ in range(self.workers)]
+            for dom in self._dd.domains:
+                blocks[self._worker_of(dom.rank)][dom.rank] = np.take(
+                    x, dom.local_idx, axis=0)
+            futs = [self._submit(w, "step", {"x": blocks[w]})
+                    for w in range(self.workers)]
+        elif self.halo_only:
+            # ghost-only shared-memory staging: write each rank's
+            # owned+ghost rows into its slab, nothing else
+            for dom in self._dd.domains:
+                m = dom.local_idx.shape[0]
+                np.take(x, dom.local_idx, axis=0, out=self._XL[dom.rank, :m])
+            futs = [self._submit(w, "step") for w in range(self.workers)]
+        else:
+            self._X[:] = x
+            futs = [self._submit(w, "step") for w in range(self.workers)]
         t2 = time.perf_counter()
         per_worker = [self._result(w, fut) for w, fut in enumerate(futs)]
         t3 = time.perf_counter()
         per_rank = sorted(itertools.chain.from_iterable(per_worker), key=lambda r: r["rank"])
+        if self._wire:
+            # owned-force slabs came back in the replies; land them in the
+            # host-local reduction buffer exactly where the shared-memory
+            # planes would have written them
+            for info in per_rank:
+                fr = info.pop("forces")
+                self._F[info["rank"], : fr.shape[0], :] = fr
         # fixed rank-order reduction — the determinism contract: same
         # association as the sequential DomainDecomposition path.
         energy = 0.0
+        virial = 0.0
         for info in per_rank:
             energy += info["energy"]
+            virial += info["virial"]
         forces = self._dd.reduce_forces(
             [self._F[rank] for rank in range(self.ranks)],
             out=self._ws.buf("forces", (self.system.n, 3), np.float64),
@@ -487,6 +611,32 @@ class ParallelEngine:
         self.steps += 1
         if any_rebuilt:
             self.rebuild_steps += 1
+
+        # -- measured traffic accounting --
+        n = self.system.n
+        bytes_full = self.workers * n * 24  # full (n,3) float64 broadcast
+        bytes_reverse = self._local_rows * 24
+        if self._wire or self.halo_only:
+            bytes_forward = self._local_rows * 24
+        else:
+            bytes_forward = bytes_full
+        bytes_wire = None
+        wire_fn = getattr(self._exec, "wire_bytes", None)
+        if wire_fn is not None:
+            cur = wire_fn()
+            bytes_wire = (cur[0] - self._wire_prev[0], cur[1] - self._wire_prev[1])
+            self._wire_prev = cur
+        # split the measured comm window: the staging/dispatch phase
+        # (t1..t2) is forward traffic, the remainder is collection
+        comm_s = timers["comm_s"]
+        fwd_s = min(max(t2 - t1, 0.0), comm_s)
+        comm = CommRecord()
+        comm.add_measured(bytes_forward, fwd_s, stage="forward")
+        comm.add_measured(bytes_reverse, comm_s - fwd_s, stage="reverse")
+        self.comm_total.add_measured(bytes_forward, fwd_s, stage="forward")
+        self.comm_total.add_measured(bytes_reverse, comm_s - fwd_s, stage="reverse")
+        self._comm_samples.append((bytes_forward + bytes_reverse, comm_s))
+
         step = EngineStep(
             energy=energy,
             forces=forces,
@@ -495,6 +645,12 @@ class ParallelEngine:
             generation=self.generation,
             redecomposed=redecomposed,
             any_rebuilt=any_rebuilt,
+            virial=virial,
+            bytes_forward=bytes_forward,
+            bytes_reverse=bytes_reverse,
+            bytes_forward_full=bytes_full,
+            bytes_wire=bytes_wire,
+            comm=comm,
         )
         self.last_step = step
         return step
@@ -574,6 +730,26 @@ class ParallelEngine:
             agg["invalidations"] += c.get("invalidations", 0)
             agg["list_version"] = max(agg["list_version"], c.get("list_version", 0))
         return agg
+
+    def calibrated_network(self, *, name: str | None = None):
+        """Alpha-beta :class:`~repro.perf.network.NetworkModel` fitted to
+        this engine's *measured* per-step exchanges.
+
+        Every :meth:`compute` contributes one ``(bytes, seconds)``
+        sample; the executor's own calibration (e.g.
+        :meth:`~repro.parallel.transport.ClusterExecutor.calibrate`)
+        probes the raw fabric instead — this fit sees the end-to-end
+        data plane including staging.  ``None`` until a step with a
+        positive comm time has been measured.
+        """
+        from repro.perf.network import fit_network_model
+
+        samples = [s for s in self._comm_samples if s[1] > 0.0]
+        if not samples:
+            return None
+        if name is None:
+            name = f"measured-{type(self._exec).__name__}"
+        return fit_network_model(samples, name=name)
 
     def workload_summary(self) -> dict:
         """Structural decomposition summary plus measured execution data.

@@ -20,17 +20,25 @@ The protocol (three methods):
   ``weakref.finalize`` safety net so dropped executors never leak
   processes or ``/dev/shm`` segments.
 
-Two implementations:
+Four implementations:
 
 - :class:`SerialExecutor` — hosts live in this process, ``submit``
   executes synchronously and returns an already-resolved future.  No
   shared memory, no pickling requirements; this is also what makes the
   engine runnable where ``multiprocessing`` is unavailable or unwanted.
+- :class:`ThreadExecutor` — one persistent thread per worker, hosts
+  sharing the process's arrays by reference.  Useful when the kernel
+  releases the GIL (the compiled C backend does): rank evaluations then
+  overlap without any process or serialization cost.
 - :class:`ProcessExecutor` — one process per worker (``fork`` or
   ``spawn``), duplex pipes for control messages, and
   ``multiprocessing.shared_memory`` for the named arrays, so bulk data
   never crosses a pipe.  Futures are lazy: replies are drained from the
   pipe in FIFO order when ``result()`` is first called.
+- :class:`~repro.parallel.transport.ClusterExecutor` — workers behind
+  framed TCP/unix sockets (possibly on other hosts); it additionally
+  sets ``wire_data_plane = True``, telling the engine to ship only
+  ghost positions and owned-force slabs instead of sharing arrays.
 
 Ordering guarantee (both implementations): commands submitted to the
 same worker execute in submission order; there is no cross-worker
@@ -99,8 +107,10 @@ def make_executor(
     ``None`` keeps the historical default: a process pool using ``fork``
     where available, else ``spawn`` — ``start_method`` (the engine's
     back-compat parameter) selects the method explicitly.  Names:
-    ``"serial"``, ``"fork"``, ``"spawn"``, ``"forkserver"``,
-    ``"process"`` (= default start method).
+    ``"serial"``, ``"thread"``, ``"fork"``, ``"spawn"``,
+    ``"forkserver"``, ``"process"`` (= default start method), and
+    ``"tcp"`` / ``"unix"`` (a spawned socket-transport cluster pool,
+    see :class:`~repro.parallel.transport.ClusterExecutor`).
     """
     if spec is not None and not isinstance(spec, str):
         if start_method is not None:
@@ -114,11 +124,17 @@ def make_executor(
         )
     if spec == "serial":
         return SerialExecutor(workers)
+    if spec == "thread":
+        return ThreadExecutor(workers)
+    if spec in ("tcp", "unix"):
+        from repro.parallel.transport import ClusterExecutor  # avoid import cycle
+
+        return ClusterExecutor(workers, transport=spec)
     if spec in mp.get_all_start_methods():
         return ProcessExecutor(workers, start_method=spec)
     raise ExecutorError(
-        f"unknown executor {spec!r}; expected 'serial', 'process', "
-        f"or a start method ({', '.join(mp.get_all_start_methods())})"
+        f"unknown executor {spec!r}; expected 'serial', 'thread', 'process', "
+        f"'tcp', 'unix', or a start method ({', '.join(mp.get_all_start_methods())})"
     )
 
 
@@ -163,6 +179,71 @@ class SerialExecutor:
         return fut
 
     def shutdown(self) -> None:
+        self._hosts = None
+
+
+# ---------------------------------------------------------------------------
+# thread pool
+# ---------------------------------------------------------------------------
+
+
+class ThreadExecutor:
+    """One persistent thread per worker, arrays shared by reference.
+
+    Each worker gets its own single-thread
+    :class:`~concurrent.futures.ThreadPoolExecutor`, which preserves the
+    per-worker FIFO ordering guarantee while letting different workers'
+    rank evaluations overlap.  Real overlap requires the kernel to
+    release the GIL — the compiled C Tersoff backend does (its ctypes
+    call drops the GIL for the whole force loop), so
+    ``repro run --workers N --executor thread --backend compiled`` scales
+    without any process, pickling or shared-memory cost.  With the
+    pure-numpy backend the threads mostly serialize on the GIL; the
+    physics is bitwise identical either way (each rank still owns a
+    private potential copy, and the host reduction is rank-ordered).
+    """
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ExecutorError("need at least one worker")
+        self.workers = int(workers)
+        self._hosts: list | None = None
+        self._pools: list | None = None
+
+    def start(self, host_factory, array_specs):
+        from concurrent.futures import ThreadPoolExecutor
+
+        if self._hosts is not None:
+            raise ExecutorError("executor already started")
+        arrays = {
+            name: np.zeros(shape, dtype=np.dtype(dtype))
+            for name, (shape, dtype) in array_specs.items()
+        }
+        self._hosts = [host_factory(arrays) for _ in range(self.workers)]
+        self._pools = [
+            ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"repro-exec-{w}")
+            for w in range(self.workers)
+        ]
+        return arrays
+
+    def submit(self, worker: int, cmd: str, payload: object = None) -> Future:
+        if self._pools is None:
+            raise ExecutorError("executor not started (or shut down)")
+        host = self._hosts[worker]
+
+        def call():
+            try:
+                return host.handle(cmd, payload)
+            except Exception:
+                raise WorkerFailure(worker, traceback.format_exc()) from None
+
+        return self._pools[worker].submit(call)
+
+    def shutdown(self) -> None:
+        if self._pools is not None:
+            for pool in self._pools:
+                pool.shutdown(wait=True)
+        self._pools = None
         self._hosts = None
 
 
@@ -232,16 +313,18 @@ def _cleanup_pool(procs, conns, shms) -> None:
 
 
 class _ChannelFuture(Future):
-    """Future bound to one worker's reply pipe.
+    """Future bound to one worker's reply channel.
 
     Replies arrive strictly in submission order per worker, so
     ``result()`` drains the worker's pending queue up to and including
     this future.  Earlier futures resolved along the way become ``done``
     without anyone waiting on them — the engine is free to collect
-    results in any order.
+    results in any order.  Any executor with a ``_drain_until(worker,
+    fut)`` method can hand these out (the process pool and the socket
+    cluster pool both do).
     """
 
-    def __init__(self, executor: "ProcessExecutor", worker: int):
+    def __init__(self, executor, worker: int):
         super().__init__()
         self._executor = executor
         self._worker = worker

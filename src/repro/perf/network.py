@@ -44,3 +44,35 @@ INFINIBAND_FDR = NetworkModel("infiniband-fdr", latency_s=1.5e-6, bandwidth_Bps=
 
 #: PCIe 2.0 x16 (KNC 5110P and Kepler offload traffic).
 PCIE_GEN2 = NetworkModel("pcie-gen2", latency_s=10.0e-6, bandwidth_Bps=6.0e9)
+
+
+def fit_network_model(
+    samples: "list[tuple[float, float]]", *, name: str = "measured"
+) -> NetworkModel:
+    """Least-squares alpha-beta fit from observed ``(nbytes, seconds)``.
+
+    The calibration path that turns the analytic fabric constants above
+    into *measured* ones: samples come from real exchanges (the cluster
+    executor's ping round-trips, or the engine's per-step halo traffic),
+    and ``t = alpha + n * beta`` is fit by ordinary least squares with
+    ``alpha`` clamped non-negative.  With fewer than two distinct
+    message sizes the system is rank-deficient; the fit then degrades
+    gracefully to zero latency and the aggregate observed throughput.
+    """
+    import numpy as np
+
+    pts = [(float(b), float(t)) for b, t in samples if float(t) > 0.0]
+    if not pts:
+        raise ValueError("need at least one sample with positive time")
+    nbytes = np.array([p[0] for p in pts], dtype=np.float64)
+    secs = np.array([p[1] for p in pts], dtype=np.float64)
+    if len(pts) >= 2 and float(np.ptp(nbytes)) > 0.0:
+        design = np.stack([np.ones_like(nbytes), nbytes], axis=1)
+        (alpha, beta), *_ = np.linalg.lstsq(design, secs, rcond=None)
+        alpha = max(float(alpha), 0.0)
+        beta = max(float(beta), 1e-15)  # seconds per byte; noise can fit <= 0
+    else:
+        alpha = 0.0
+        total = float(nbytes.sum())
+        beta = float(secs.sum()) / total if total > 0.0 else 1e-15
+    return NetworkModel(name, latency_s=alpha, bandwidth_Bps=1.0 / beta)

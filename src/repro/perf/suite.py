@@ -528,6 +528,138 @@ register(BenchCase(
 ))
 
 
+# Ghost-only vs full-broadcast traffic on the same step: the engine's
+# two shared-memory data planes on one workload.  The deterministic
+# byte metrics are the point (the halo-only plane must stay well under
+# the broadcast's workers*n*24); the timed thunk measures both planes'
+# host staging cost.  8 ranks on the serial executor: no process cost,
+# and enough surface-to-volume for the ghost regions to matter without
+# dominating.
+
+def _halo_bytes_setup() -> Callable[[], Any]:
+    from repro.parallel.engine import ParallelEngine
+
+    params, system = _parallel_workload()
+    engines = [
+        ParallelEngine(system, _prod(params), workers=8, ranks=8,
+                       executor="serial", halo_only=halo)
+        for halo in (True, False)
+    ]
+
+    def both_planes():
+        return [eng.compute(system.x) for eng in engines]
+
+    return both_planes
+
+
+def _halo_bytes_metrics(steps) -> dict:
+    halo, full = steps
+    return {
+        "bytes_halo": float(halo.bytes_forward),
+        "bytes_full": float(full.bytes_forward),
+        "reduction": float(full.bytes_forward / halo.bytes_forward),
+    }
+
+
+register(BenchCase(
+    name="parallel/halo-bytes",
+    setup=_halo_bytes_setup,
+    metrics=_halo_bytes_metrics,
+    extra=lambda steps: {
+        "bytes_reverse": steps[0].bytes_reverse,
+        "energy_match": steps[0].energy == steps[1].energy,
+    },
+))
+
+
+# ---- scale/* : strong and weak scaling to 10^6 atoms ------------------------
+# The Fig. 9 measurement done for real: big perturbed-Si lattices pushed
+# through the full parallel Simulation path, with *measured* comm time
+# (StageTimers.comm, CommRecord) and the per-step ghost-traffic bytes in
+# the artifact.  Wall-clock is host-dependent, so every case is tier
+# "warn"; the value tracked over time is the recorded scaling curve.
+
+@lru_cache(maxsize=2)
+def _scale_workload(cells: tuple):
+    """Large perturbed diamond-Si system: ``8 * nx * ny * nz`` atoms."""
+    from repro.core.tersoff.parameters import tersoff_si
+    from repro.md.lattice import diamond_lattice, perturbed
+
+    params = tersoff_si()
+    system = perturbed(diamond_lattice(*cells), 0.05, seed=11)
+    return params, system
+
+
+def _scale_setup(cells: tuple, workers: int, ranks: int) -> Callable[[], Any]:
+    from repro.md.lattice import seeded_velocities
+    from repro.md.neighbor import NeighborSettings
+    from repro.md.simulation import Simulation
+
+    params, system = _scale_workload(cells)
+    sys2 = system.copy()
+    seeded_velocities(sys2, 300.0, seed=3)
+    sim = Simulation(sys2, _prod(params),
+                     neighbor=NeighborSettings(cutoff=params.max_cutoff, skin=1.0),
+                     workers=workers, ranks=ranks, sort=True)
+    sim.compute_forces()
+    return lambda: (sim.run(1), sim)[1]
+
+
+def _scale_extra(sim) -> dict:
+    extra = _md_workers_extra(sim)
+    eng = sim.engine
+    step = eng.last_step
+    net = eng.calibrated_network()
+    extra["comm"] = {
+        "atoms": sim.system.n,
+        "bytes_forward": step.bytes_forward,
+        "bytes_reverse": step.bytes_reverse,
+        "bytes_forward_full": step.bytes_forward_full,
+        "bytes_wire": step.bytes_wire,
+        "measured_total_s": eng.comm_total.measured_time_s,
+        "messages": eng.comm_total.messages,
+        "stage_comm_s": sim.timers.comm,
+        "network_fit": None if net is None else {
+            "name": net.name,
+            "latency_s": net.latency_s,
+            "bandwidth_Bps": net.bandwidth_Bps,
+        },
+    }
+    return extra
+
+
+# strong scaling: fixed problem, growing worker count (65k atoms), then
+# fixed worker count on growing problems up to 10^6 atoms
+for _name, _cells, _w in (
+    ("strong-65k-w1", (16, 16, 32), 1),
+    ("strong-65k-w2", (16, 16, 32), 2),
+    ("strong-65k", (16, 16, 32), 4),
+    ("strong-262k", (32, 32, 32), 4),
+    ("strong-1M", (50, 50, 50), 4),
+):
+    register(BenchCase(
+        name=f"scale/{_name}",
+        setup=(lambda c, w: lambda: _scale_setup(c, w, w))(_cells, _w),
+        tier="warn",
+        smoke=_name in ("strong-65k", "strong-65k-w1"),
+        extra=_scale_extra,
+        repeats=1,
+        warmup=0,
+    ))
+
+# weak scaling: 16384 atoms per rank, ranks growing with the problem
+for _r, _cells in ((1, (16, 16, 8)), (2, (16, 16, 16)), (4, (16, 16, 32))):
+    register(BenchCase(
+        name=f"scale/weak-16k-r{_r}",
+        setup=(lambda c, w: lambda: _scale_setup(c, w, w))(_cells, _r),
+        tier="warn",
+        smoke=False,
+        extra=_scale_extra,
+        repeats=1,
+        warmup=0,
+    ))
+
+
 # ---- model/* : deterministic cost-model predictions -------------------------
 
 def _model_setup() -> Callable[[], Any]:

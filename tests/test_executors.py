@@ -1,6 +1,6 @@
-"""EngineExecutor conformance: one contract, three implementations.
+"""EngineExecutor conformance: one contract, many implementations.
 
-Every executor (serial, fork-pool, spawn-pool) must satisfy identical
+Every executor (serial, thread pool, fork-pool, spawn-pool) must satisfy identical
 semantics — named shared arrays visible on both sides, per-worker FIFO
 ordering, host exceptions surfaced as :class:`WorkerFailure` carrying
 the remote traceback, idempotent shutdown — so the parallel engine's
@@ -18,6 +18,7 @@ from repro.parallel.executor import (
     ExecutorError,
     ProcessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     WorkerFailure,
     make_executor,
 )
@@ -58,7 +59,7 @@ class EchoFactory:
         return EchoHost(arrays)
 
 
-EXECUTORS = ["serial", "spawn"] + (["fork"] if HAVE_FORK else [])
+EXECUTORS = ["serial", "thread", "spawn"] + (["fork"] if HAVE_FORK else [])
 
 
 @pytest.fixture(params=EXECUTORS)
@@ -67,6 +68,8 @@ def started(request):
     with two workers and one 4-slot shared array."""
     if request.param == "serial":
         ex = SerialExecutor(2)
+    elif request.param == "thread":
+        ex = ThreadExecutor(2)
     else:
         ex = ProcessExecutor(2, start_method=request.param)
     views = ex.start(EchoFactory(), {"data": ((4,), "float64")})
@@ -188,6 +191,14 @@ class TestProcessSpecific:
         finally:
             ex.shutdown()
 
+    def test_thread_runs_in_process(self):
+        ex = ThreadExecutor(1)
+        try:
+            ex.start(EchoFactory(), {"data": ((1,), "float64")})
+            assert ex.submit(0, "pid").result() == os.getpid()
+        finally:
+            ex.shutdown()
+
 
 class TestMakeExecutor:
     def test_names(self):
@@ -195,6 +206,7 @@ class TestMakeExecutor:
         ex = make_executor("spawn", workers=2)
         assert isinstance(ex, ProcessExecutor) and ex.start_method == "spawn"
         assert isinstance(make_executor("process", workers=2), ProcessExecutor)
+        assert isinstance(make_executor("thread", workers=2), ThreadExecutor)
         assert isinstance(make_executor(None, workers=2), ProcessExecutor)
 
     def test_unknown_name_rejected(self):
@@ -222,6 +234,8 @@ class TestMakeExecutor:
             SerialExecutor(0)
         with pytest.raises(ExecutorError):
             ProcessExecutor(0)
+        with pytest.raises(ExecutorError):
+            ThreadExecutor(0)
 
 
 class TestEngineAcrossExecutors:
@@ -241,7 +255,8 @@ class TestEngineAcrossExecutors:
                 step = eng.compute(system.x)
                 return step.energy, step.forces.copy()
 
-        results = [run(ex) for ex in ("serial", "spawn", *(("fork",) if HAVE_FORK else ()))]
+        results = [run(ex) for ex in
+                   ("serial", "thread", "spawn", *(("fork",) if HAVE_FORK else ()))]
         e0, f0 = results[0]
         for energy, forces in results[1:]:
             assert energy == e0

@@ -166,3 +166,63 @@ class TestLayouts:
         ps = pairset(nl)
         rebuilt = {(i, int(j)) for i in range(s.n) for j in nl.neighbors_of(i)}
         assert rebuilt == ps
+
+
+class TestBruteForceGuard:
+    """Satellite: a 10^5-atom lattice must never silently hit the
+    O(n^2) fallback — at that size it means tens of GB and a hang."""
+
+    def _thin_box_system(self, n=25_000):
+        # a box with < 3 bins along every periodic axis at rlist=4.0,
+        # holding more atoms than BRUTE_FORCE_MAX_ATOMS.  The guard
+        # fires before any distance block is allocated, so this is cheap.
+        rng = np.random.default_rng(0)
+        box = Box(lo=np.zeros(3), hi=np.full(3, 8.0))
+        return rng.uniform(0.0, 8.0, size=(n, 3)), box
+
+    def test_large_fallback_raises_typed_error(self):
+        from repro.md.neighbor import BRUTE_FORCE_MAX_ATOMS, BruteForceFallbackError
+
+        x, box = self._thin_box_system()
+        assert x.shape[0] > BRUTE_FORCE_MAX_ATOMS
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        with pytest.raises(BruteForceFallbackError, match="brute_force=True"):
+            nl.build(x, box)
+        # and the typed error is still a ValueError for old callers
+        assert issubclass(BruteForceFallbackError, ValueError)
+
+    def test_explicit_brute_force_stays_allowed(self):
+        # opting in bypasses the guard (small n here so it terminates)
+        rng = np.random.default_rng(1)
+        box = Box(lo=np.zeros(3), hi=np.full(3, 8.0))
+        x = rng.uniform(0.0, 8.0, size=(200, 3))
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        nl.build(x, box, brute_force=True)
+        assert nl.n_builds == 1
+
+    def test_small_fallback_still_silent(self):
+        # below the limit the brute-force fallback keeps working as the
+        # reference path for tiny boxes
+        rng = np.random.default_rng(2)
+        box = Box(lo=np.zeros(3), hi=np.full(3, 8.0))
+        x = rng.uniform(0.0, 8.0, size=(64, 3))
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        nl.build(x, box)
+        assert nl.n_builds == 1
+
+    def test_binned_build_memory_stays_linear(self):
+        import tracemalloc
+
+        # 10^5 atoms in a properly sized box: the binned path must not
+        # materialize O(n^2) distance blocks.  A quadratic build would
+        # need > 80 GB; bound the peak at a few hundred MB.
+        s = diamond_lattice(24, 24, 24)  # 110,592 atoms
+        nl = NeighborList(NeighborSettings(cutoff=3.0, skin=1.0))
+        tracemalloc.start()
+        try:
+            nl.build(s.x, s.box)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert nl.n_builds == 1
+        assert peak < 1.5e9, f"neighbor build peaked at {peak/1e9:.2f} GB"

@@ -349,3 +349,56 @@ class TestDecompositionSatellites:
         dd2 = DomainDecomposition(shuffled, 2, halo=4.2, sort=True)
         for d1, d2 in zip(dd1.domains, dd2.domains):
             assert np.array_equal(d1.local_system.x, d2.local_system.x)
+
+
+class TestGhostOnlyDataPlane:
+    """Satellite: the shared-memory engine ships only ghost-region
+    slabs by default, and the byte accounting proves it."""
+
+    def test_halo_only_matches_full_broadcast_bitwise(self):
+        system = si_system()
+        xs = drift_sequence(system)
+        results = {}
+        for halo_only in (True, False):
+            pot = TersoffProduction(tersoff_si(), cache=True)
+            with ParallelEngine(system.copy(), pot, workers=2, ranks=4,
+                                halo_only=halo_only) as eng:
+                results[halo_only] = [
+                    (st.energy, st.virial, st.forces.copy())
+                    for st in (eng.compute(x) for x in xs)
+                ]
+        for (e0, v0, f0), (e1, v1, f1) in zip(results[True], results[False]):
+            assert e0 == e1
+            assert v0 == v1
+            assert f0.tobytes() == f1.tobytes()
+
+    def test_forward_bytes_reduced_at_least_2x(self):
+        # the halo-bytes bench contract: at 2048 atoms / 8 ranks the
+        # ghost-only plane moves less than half the full broadcast
+        system = perturbed(diamond_lattice(4, 4, 16), 0.05, seed=3)  # 2048
+        pot = TersoffProduction(tersoff_si(), cache=True)
+        with ParallelEngine(system.copy(), pot, workers=8, ranks=8,
+                            executor="serial", halo_only=True) as halo, \
+                ParallelEngine(system.copy(), pot, workers=8, ranks=8,
+                               executor="serial", halo_only=False) as full:
+            a = halo.compute(system.x)
+            b = full.compute(system.x)
+            assert a.energy == b.energy
+            assert np.array_equal(a.forces, b.forces)
+            assert b.bytes_forward == b.bytes_forward_full
+            assert a.bytes_forward < b.bytes_forward
+            assert b.bytes_forward / a.bytes_forward >= 2.0
+
+    def test_step_carries_measured_comm_record(self):
+        system = si_system()
+        pot = TersoffProduction(tersoff_si(), cache=True)
+        with ParallelEngine(system, pot, workers=2, ranks=2) as eng:
+            step = eng.compute(system.x)
+            assert step.comm is not None
+            assert step.comm.messages == 2  # forward + reverse
+            assert step.comm.bytes == step.bytes_forward + step.bytes_reverse
+            assert step.comm.measured_time_s >= 0.0
+            assert set(step.comm.by_stage) == {"forward", "reverse"}
+            # shared-memory executors have no wire, so no wire bytes
+            assert step.bytes_wire is None
+            assert eng.comm_total.messages == 2
