@@ -102,6 +102,7 @@ class LintConfig:
     worker_modules: tuple[str, ...] = (
         "repro/parallel/",
         "repro/backends/",
+        "repro/serve/",
     )
     c_modules: tuple[str, ...] = ("repro/backends/",)
     enabled_rules: tuple[str, ...] | None = None  # None = all

@@ -68,49 +68,45 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_run_potential(potential: str, mode: str, cache: bool, backend: str | None = None):
-    """Construct the ``repro run`` potential; returns ``(pot, cutoff)``."""
-    from repro.core.schemes import make_solver, mode_precision
-    from repro.core.sw import StillingerWeberProduction, StillingerWeberReference, sw_silicon
-    from repro.core.tersoff.parameters import tersoff_si
+def _restart_run_spec(ck, args: argparse.Namespace):
+    """The effective :class:`RunSpec` for ``--restart-from``.
 
-    if potential == "sw":
-        params = sw_silicon()
-        if backend is not None:
-            raise ValueError("--backend applies to the Tersoff Opt-* production path only")
-        if mode == "Ref":
-            return StillingerWeberReference(params), params.cut
-        return StillingerWeberProduction(
-            params, precision=mode_precision(mode), cache=cache
-        ), params.cut
-    params = tersoff_si()
-    return make_solver(params, mode, cache=cache, backend=backend), params.max_cutoff
-
-
-def _resolve_run_executor(args: argparse.Namespace):
-    """The ``executor=`` value for Simulation from the run flags.
-
-    ``--hosts`` builds a connected :class:`ClusterExecutor` (one worker
-    per address, ``--transport`` picking tcp vs unix framing);
-    ``--transport`` alone selects the spawned local socket pool; plain
-    ``--executor`` names pass through.  Returns ``(executor, workers)``
-    — hosts mode fixes the worker count to the address list.
+    The checkpoint pins the full configuration — solver (potential,
+    mode, cache, backend) *and* execution (executor, transport,
+    workers, ranks, sort, skin).  Explicitly-given CLI flags override
+    the execution knobs (resuming on different hardware is legitimate);
+    the solver always comes from the checkpoint, so the physics cannot
+    drift across a restart.
     """
-    hosts = [h.strip() for h in args.hosts.split(",") if h.strip()] if args.hosts else None
-    if hosts:
-        from repro.parallel.transport import ClusterExecutor
+    from repro.runtime.spec import RunSpec
 
-        if args.executor is not None:
-            raise ValueError("--hosts already selects the cluster executor; drop --executor")
-        executor = ClusterExecutor(
-            args.workers, transport=args.transport or "tcp", hosts=hosts)
-        return executor, len(hosts)
-    if args.transport:
-        if args.executor not in (None, args.transport):
-            raise ValueError(
-                f"conflicting flags: --executor {args.executor} vs --transport {args.transport}")
-        return args.transport, args.workers
-    return args.executor, args.workers
+    pinned = ck.run_spec()
+    if pinned is None:
+        # library-written checkpoint with no pinned config: fall back
+        # to the CLI flags wholesale, as before the runtime layer
+        return RunSpec.from_args(args)
+    overrides = {}
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.ranks is not None:
+        overrides["ranks"] = args.ranks
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+        overrides.setdefault("transport", None)
+        overrides.setdefault("hosts", None)
+    if args.transport is not None:
+        overrides["transport"] = args.transport
+        overrides.setdefault("executor", None)
+        overrides.setdefault("hosts", None)
+    if args.hosts:
+        overrides["hosts"] = tuple(
+            h.strip() for h in args.hosts.split(",") if h.strip()
+        )
+        overrides.setdefault("executor", None)
+        overrides.setdefault("transport", None)
+    if args.sort_domains:
+        overrides["sort"] = True
+    return pinned.with_overrides(**overrides) if overrides else pinned
 
 
 def _report_comm(sim) -> None:
@@ -134,34 +130,25 @@ def _report_comm(sim) -> None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.md.lattice import cells_for_atoms, diamond_lattice, seeded_velocities
-    from repro.md.neighbor import NeighborSettings
-    from repro.md.simulation import Simulation
     from repro.md.thermo import ThermoSample
     from repro.parallel.executor import ExecutorError
-    from repro.state import CheckpointError, load_checkpoint, restore_simulation
-
-    try:
-        executor, workers = _resolve_run_executor(args)
-    except (ValueError, ExecutorError) as exc:
-        print(f"run: {exc}", file=sys.stderr)
-        return 2
+    from repro.runtime.session import build_potential, build_simulation, restore_run
+    from repro.runtime.spec import RunSpec, SpecError
+    from repro.state import CheckpointError, load_checkpoint
 
     if args.restart_from:
-        # the checkpoint pins the physics configuration; CLI potential
-        # flags are ignored in favour of what the original run stored
+        # the checkpoint pins the full run spec — solver *and*
+        # executor/workers/cache; explicit CLI flags override only the
+        # execution knobs (see _restart_run_spec)
         try:
             ck = load_checkpoint(args.restart_from)
         except (OSError, ValueError) as exc:
             print(f"restart: cannot load checkpoint: {exc}", file=sys.stderr)
             return 2
-        config = ck.user_meta.get("run_config", {})
-        potential_name = config.get("potential", args.potential)
-        mode = config.get("mode", args.mode)
-        cache = config.get("cache", not args.no_cache)
-        backend = config.get("backend", args.backend)
         try:
-            pot, _ = _build_run_potential(potential_name, mode, cache, backend)
-        except ValueError as exc:
+            run = _restart_run_spec(ck, args)
+            pot = build_potential(run.solver)
+        except (SpecError, ValueError) as exc:
             print(f"run: {exc}", file=sys.stderr)
             return 2
         if args.sanitize:
@@ -170,44 +157,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
             pot = SanitizedPotential(pot)
             print("sanitize: FP faults raise, force results NaN-guarded (debug mode)")
         try:
-            sim = restore_simulation(ck, pot, workers=workers, executor=executor)
-        except CheckpointError as exc:
+            sim = restore_run(run, ck, potential=pot)
+        except (CheckpointError, ExecutorError) as exc:
             print(f"restart: {exc}", file=sys.stderr)
             return 2
         print(f"restarted from {args.restart_from} at step {sim.step_index} "
-              f"({sim.system.n} atoms, {potential_name} ({mode}))")
+              f"({sim.system.n} atoms, {run.solver.potential} ({run.solver.mode}))")
     else:
-        potential_name, mode, cache = args.potential, args.mode, not args.no_cache
-        backend = args.backend
+        try:
+            run = RunSpec.from_args(args)
+            pot = build_potential(run.solver)
+        except (SpecError, ValueError) as exc:
+            print(f"run: {exc}", file=sys.stderr)
+            return 2
+        if args.sanitize:
+            from repro.analysis.sanitize import SanitizedPotential
+
+            pot = SanitizedPotential(pot)
+            print("sanitize: FP faults raise, force results NaN-guarded (debug mode)")
         cells = cells_for_atoms(args.atoms)
         system = diamond_lattice(*cells)
         seeded_velocities(system, args.temperature, seed=args.seed)
         try:
-            pot, cutoff = _build_run_potential(potential_name, mode, cache, backend)
-        except ValueError as exc:
+            sim = build_simulation(run, system, potential=pot)
+        except (SpecError, ValueError, ExecutorError) as exc:
             print(f"run: {exc}", file=sys.stderr)
             return 2
-        if args.sanitize:
-            from repro.analysis.sanitize import SanitizedPotential
-
-            pot = SanitizedPotential(pot)
-            print("sanitize: FP faults raise, force results NaN-guarded (debug mode)")
-        sim = Simulation(
-            system, pot,
-            neighbor=NeighborSettings(cutoff=cutoff, skin=args.skin),
-            workers=workers, ranks=args.ranks, sort=args.sort_domains,
-            executor=executor,
-        )
-    run_config = {"potential": potential_name, "mode": mode, "cache": cache,
-                  "backend": backend}
-    callbacks, sinks = _run_sinks(args, run_config, resume_step=sim.step_index)
+    callbacks, sinks = _run_sinks(args, run, resume_step=sim.step_index)
 
     par = ""
     if sim.engine is not None:
         par = f", {sim.engine.workers} workers x {sim.engine.ranks} ranks"
     backend_name = getattr(pot, "backend_name", None)
-    be = f", backend {backend_name}" if backend is not None and backend_name else ""
-    print(f"{sim.system.n} Si atoms, {potential_name} ({mode}), "
+    be = f", backend {backend_name}" if run.solver.backend is not None and backend_name else ""
+    print(f"{sim.system.n} Si atoms, {run.solver.potential} ({run.solver.mode}), "
           f"{args.steps} steps at {args.temperature:.0f} K{par}{be}")
     print(ThermoSample.format_header())
     result = sim.run(args.steps, thermo_every=max(args.steps // 10, 1), callback=callbacks)
@@ -238,9 +221,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _run_sinks(
-    args: argparse.Namespace, run_config: dict, *, resume_step: int = 0
+    args: argparse.Namespace, run, *, resume_step: int = 0
 ) -> tuple[list, list]:
-    """Build the durability callbacks for ``repro run``."""
+    """Build the durability callbacks for ``repro run``.
+
+    `run` is the effective :class:`~repro.runtime.spec.RunSpec`; its
+    canonical dict is pinned into checkpoints (``user_meta["run_spec"]``)
+    and stamped onto the telemetry stream, so both round-trip the full
+    configuration.
+    """
     from repro.state import BinaryTrajectory, Checkpointer, TelemetrySink
 
     resuming = bool(args.restart_from)
@@ -258,7 +247,7 @@ def _run_sinks(
     if args.telemetry:
         telem = TelemetrySink(
             args.telemetry, every=args.telemetry_every, append=resuming,
-            meta=run_config,
+            meta=run.to_dict(),
         )
         callbacks.append(telem)
         sinks.append(telem)
@@ -266,7 +255,7 @@ def _run_sinks(
         every = args.checkpoint_every or max(args.steps, 1)
         ckpt = Checkpointer(
             args.checkpoint or "run.ckpt", every=every,
-            user_meta={"run_config": run_config},
+            user_meta={"run_spec": run.to_dict()},
         )
         callbacks.append(ckpt)
         sinks.append(ckpt)
@@ -297,6 +286,81 @@ def _cmd_worker(args: argparse.Namespace) -> int:
         return 2
     except KeyboardInterrupt:  # pragma: no cover - interactive stop
         return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import EvalServer, ServeConfig
+
+    if args.unix:
+        config = ServeConfig(
+            unix_path=args.unix,
+            max_sessions=args.max_sessions, per_tenant_cap=args.per_tenant_cap,
+            skin=args.skin, backlog=args.backlog, batch_max=args.batch_max,
+            max_atoms=args.max_atoms,
+        )
+    else:
+        host, _, port = args.bind.rpartition(":")
+        try:
+            port = int(port)
+        except ValueError:
+            print(f"serve: bad --bind {args.bind!r} (expected HOST:PORT)",
+                  file=sys.stderr)
+            return 2
+        config = ServeConfig(
+            host=host or "127.0.0.1", port=port,
+            max_sessions=args.max_sessions, per_tenant_cap=args.per_tenant_cap,
+            skin=args.skin, backlog=args.backlog, batch_max=args.batch_max,
+            max_atoms=args.max_atoms,
+        )
+    try:
+        server = EvalServer(config)
+    except OSError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    print(f"serving on {server.address} "
+          f"(pool {config.max_sessions}, backlog {config.backlog}, "
+          f"batch {config.batch_max})", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        server.close()
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.md.lattice import diamond_lattice, perturbed
+    from repro.runtime import SolverSpec, SpecError
+    from repro.serve.loadgen import run_load
+    from repro.serve.protocol import system_payload
+
+    try:
+        spec = SolverSpec(potential=args.potential, mode=args.mode,
+                          cache=not args.no_cache, backend=args.backend)
+    except SpecError as exc:
+        print(f"loadgen: {exc}", file=sys.stderr)
+        return 2
+    system = perturbed(diamond_lattice(args.cells, args.cells, args.cells),
+                       0.1, seed=args.seed)
+    result = run_load(
+        args.address, spec.to_dict(), system_payload(system),
+        requests=args.requests, concurrency=args.concurrency,
+        tenant=args.tenant,
+    )
+    summary = result.summary()
+    summary["atoms"] = system.n
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        print(f"{summary['requests']} requests ({system.n} atoms), "
+              f"{summary['rps']:.1f} req/s over {summary['wall_s']:.2f}s")
+        print(f"latency ms: p50 {summary['p50_ms']:.2f}  "
+              f"p90 {summary['p90_ms']:.2f}  p99 {summary['p99_ms']:.2f}  "
+              f"max {summary['max_ms']:.2f}")
+        if summary["errors"]:
+            print(f"errors: {summary['errors']}")
+    return 0 if not summary["errors"] else 1
 
 
 def _cmd_telemetry_summarize(args: argparse.Namespace) -> int:
@@ -558,6 +622,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_worker.add_argument("--once", action="store_true",
                           help="exit after serving one engine session")
     p_worker.set_defaults(func=_cmd_worker)
+
+    p_serve = sub.add_parser("serve", help="batched evaluation service (warm solver pool)")
+    p_serve.add_argument("--bind", default="127.0.0.1:0", metavar="HOST:PORT",
+                         help="TCP listen address (port 0 = ephemeral)")
+    p_serve.add_argument("--unix", default=None, metavar="PATH",
+                         help="serve on an AF_UNIX socket instead of TCP")
+    p_serve.add_argument("--max-sessions", type=int, default=32,
+                         help="global warm-session cap (LRU eviction)")
+    p_serve.add_argument("--per-tenant-cap", type=int, default=8,
+                         help="warm-session cap per tenant")
+    p_serve.add_argument("--skin", type=float, default=1.0,
+                         help="neighbor skin for serve sessions")
+    p_serve.add_argument("--backlog", type=int, default=64,
+                         help="bounded queue depth; overflow answers 429")
+    p_serve.add_argument("--batch-max", type=int, default=16,
+                         help="max requests fused per dispatch")
+    p_serve.add_argument("--max-atoms", type=int, default=65536,
+                         help="refuse systems above this size (L2)")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_load = sub.add_parser("loadgen", help="load-generate against a repro serve instance")
+    p_load.add_argument("address", help="HOST:PORT or unix socket path")
+    p_load.add_argument("--requests", type=int, default=64)
+    p_load.add_argument("--concurrency", type=int, default=4)
+    p_load.add_argument("--cells", type=int, default=4,
+                        help="diamond lattice cells per edge (8*cells^3 atoms)")
+    p_load.add_argument("--seed", type=int, default=1)
+    p_load.add_argument("--potential", default="tersoff", choices=("tersoff", "sw"))
+    p_load.add_argument("--mode", default="Opt-M",
+                        choices=("Ref", "Opt-D", "Opt-S", "Opt-M"))
+    p_load.add_argument("--no-cache", action="store_true")
+    p_load.add_argument("--backend", default=None)
+    p_load.add_argument("--tenant", default="default")
+    p_load.add_argument("--json", action="store_true", help="machine-readable summary")
+    p_load.set_defaults(func=_cmd_loadgen)
 
     p_fig = sub.add_parser("figure", help="regenerate a paper artifact")
     p_fig.add_argument("which", help="fig1..fig9, table1..table3, or 'all'")

@@ -17,8 +17,6 @@ from __future__ import annotations
 
 from repro.core.tersoff.optimized import TersoffOptimized
 from repro.core.tersoff.parameters import TersoffParams
-from repro.core.tersoff.production import TersoffProduction
-from repro.core.tersoff.reference import TersoffReference
 from repro.core.tersoff.vectorized import TersoffVectorized
 from repro.md.potential import Potential
 from repro.vector.isa import ISA, get_isa
@@ -104,18 +102,25 @@ def make_solver(
         Forwarded to :class:`TersoffVectorized` (scheme, fast_forward,
         filter_neighbors, kmax).
     """
+    from repro.runtime.session import build_potential
+    from repro.runtime.spec import SolverSpec
+
     if mode == "Ref":
         if backend is not None:
             raise ValueError("backend selection only applies to Opt-* production modes")
-        return TersoffReference(params)
-    precision = mode_precision(mode)
+        return build_potential(SolverSpec(potential="tersoff", mode="Ref"), params=params)
+    precision = mode_precision(mode)  # raises on unknown Opt-* modes
     if use_lane_simulator:
         if backend is not None:
             raise ValueError("backend selection only applies to Opt-* production modes")
         return TersoffVectorized(params, isa=isa, precision=precision, **vector_options)
     if vector_options:
         raise ValueError("vector options only apply with use_lane_simulator=True")
-    return TersoffProduction(params, precision=precision, cache=cache, backend=backend)
+    # the runtime session layer is the single construction path for the
+    # production modes; SpecError is a ValueError, so callers see the
+    # same failure contract as before
+    spec = SolverSpec(potential="tersoff", mode=mode, cache=cache, backend=backend)
+    return build_potential(spec, params=params)
 
 
 def make_scalar_optimized(params: TersoffParams, *, kmax: int = 8) -> Potential:

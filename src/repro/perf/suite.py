@@ -198,10 +198,14 @@ def _kernel_case(name: str, make_pot: Callable[[Any], Any], cells: int, *,
                        repeats=repeats))
 
 
-def _ref(params):
-    from repro.core.tersoff.reference import TersoffReference
+#: precision keyword → the runtime layer's execution mode
+_PRECISION_MODE = {"double": "Opt-D", "single": "Opt-S", "mixed": "Opt-M"}
 
-    return TersoffReference(params)
+
+def _ref(params):
+    from repro.runtime import SolverSpec
+
+    return SolverSpec(potential="tersoff", mode="Ref").build(params=params)
 
 
 def _opt(params):
@@ -210,10 +214,14 @@ def _opt(params):
     return TersoffOptimized(params, kmax=8)
 
 
-def _prod(params, precision="double", cache=True):
-    from repro.core.tersoff.production import TersoffProduction
+def _prod(params, precision="double", cache=True, backend=None):
+    # all production solvers in the suite build through the runtime
+    # spec layer — the same construction path as the CLI and serve
+    from repro.runtime import SolverSpec
 
-    return TersoffProduction(params, precision=precision, cache=cache)
+    spec = SolverSpec(potential="tersoff", mode=_PRECISION_MODE[precision],
+                      cache=cache, backend=backend)
+    return spec.build(params=params)
 
 
 # The per-atom reference loop is the slowest path; keep it out of the
@@ -247,10 +255,9 @@ def _backend_kernel_case(backend: str, *, tier: str) -> None:
         if not backends.is_available(backend):
             reason = backends.available().get(backend) or "unavailable"
             raise CaseSkipped(f"backend {backend!r} unavailable: {reason}")
-        from repro.core.tersoff.production import TersoffProduction
 
         params, system, neigh = si_workload(4)
-        pot = TersoffProduction(params, cache=True, backend=backend)
+        pot = _prod(params, "double", backend=backend)
         thunk = lambda: pot.compute(system, neigh)  # noqa: E731
         thunk()  # warm outside the timed region (JIT/dlopen for compiled)
         return thunk
@@ -380,16 +387,18 @@ register(BenchCase(
 # The same ablation for the pipeline's second multi-body kernel: one SW
 # timestep with the shared interaction cache on vs off.
 def _md_step_sw_setup(cache: bool = True) -> Callable[[], Any]:
-    from repro.core.sw import StillingerWeberProduction, sw_silicon
+    from repro.core.sw import sw_silicon
     from repro.md.lattice import seeded_velocities
     from repro.md.neighbor import NeighborSettings
     from repro.md.simulation import Simulation
+    from repro.runtime import SolverSpec
 
     _, system, _ = si_workload(4)
     params = sw_silicon()
     sys2 = system.copy()
     seeded_velocities(sys2, 300.0, seed=3)
-    sim = Simulation(sys2, StillingerWeberProduction(params, cache=cache),
+    sw_spec = SolverSpec(potential="sw", mode="Opt-D", cache=cache)
+    sim = Simulation(sys2, sw_spec.build(params=params),
                      neighbor=NeighborSettings(cutoff=params.cut, skin=1.0))
     sim.compute_forces()
     return lambda: (sim.run(1), sim)[1]
@@ -472,7 +481,6 @@ for _w in (1, 2, 4):
 # under ``warmup``), so the timed medians are steady-state steps.
 def _md_backend_setup(backend: str) -> Callable[[], Any]:
     from repro import backends
-    from repro.core.tersoff.production import TersoffProduction
     from repro.md.lattice import seeded_velocities
     from repro.md.neighbor import NeighborSettings
     from repro.md.simulation import Simulation
@@ -484,7 +492,7 @@ def _md_backend_setup(backend: str) -> Callable[[], Any]:
     params, system = _parallel_workload()
     sys2 = system.copy()
     seeded_velocities(sys2, 300.0, seed=3)
-    sim = Simulation(sys2, TersoffProduction(params, cache=True, backend=backend),
+    sim = Simulation(sys2, _prod(params, backend=backend),
                      neighbor=NeighborSettings(cutoff=params.max_cutoff, skin=1.0))
     sim.compute_forces()
     return lambda: (sim.run(1), sim)[1]
@@ -686,4 +694,88 @@ register(BenchCase(
     name="model/cost-predictions",
     setup=_model_setup,
     metrics=lambda preds: {f"ns_per_day[{k}]": float(v) for k, v in preds.items()},
+))
+
+
+# ---- serve/* : the batched evaluation service -------------------------------
+# End-to-end request latency through `repro serve` over a unix socket:
+# validation, the bounded queue, the batching dispatcher, and the warm
+# SolverPool — on the paper's 512-atom workload.  The timed thunk is
+# one small load-gen burst; per-request p50/p99 and the measured
+# warm-vs-cold session speedup go to `extra` (latency is host noise,
+# never a compared metric).  tier warn: this tracks service overhead,
+# it does not gate kernels.
+
+def _serve_setup() -> Callable[[], Any]:
+    import socket as _socket
+    import tempfile
+    import time as _time
+    from pathlib import Path
+
+    from repro.perf.regress import CaseSkipped
+
+    if not hasattr(_socket, "AF_UNIX"):
+        raise CaseSkipped("AF_UNIX not available on this platform")
+    from repro.runtime import SolverSpec
+    from repro.serve import EvalServer, ServeConfig
+    from repro.serve.loadgen import run_load
+    from repro.serve.protocol import system_payload
+
+    _, system, _ = si_workload(4)  # 512 atoms
+    spec = SolverSpec(potential="tersoff", mode="Opt-M")
+    sock = str(Path(tempfile.mkdtemp(prefix="repro-serve-bench-")) / "serve.sock")
+    server = EvalServer(ServeConfig(unix_path=sock)).start()
+    solver, payload = spec.to_dict(), system_payload(system)
+
+    # cold (session build + first staging) vs warm (pool + cache hit)
+    # request latency, measured through the full HTTP stack
+    from repro.serve.client import ServeClient
+
+    with ServeClient(sock) as client:
+        t0 = _time.perf_counter()
+        client.evaluate(solver, payload)
+        cold_s = _time.perf_counter() - t0
+        t0 = _time.perf_counter()
+        client.evaluate(solver, payload)
+        warm_s = _time.perf_counter() - t0
+
+    state = {"latencies": [], "server": server, "cold_s": cold_s, "warm_s": warm_s}
+
+    def burst():
+        result = run_load(sock, solver, payload, requests=8, concurrency=2)
+        state["latencies"].extend(result.latencies)
+        state["errors"] = result.summary()["errors"]
+        return state
+
+    return burst
+
+
+def _serve_extra(state) -> dict:
+    from repro.serve.loadgen import percentile
+
+    server = state["server"]
+    stats = server.stats()
+    server.close()  # the bench runner has no teardown hook; extra is it
+    lat = sorted(state["latencies"])
+    return {
+        "requests": len(lat),
+        "errors": state.get("errors", {}),
+        "p50_ms": percentile(lat, 50) * 1e3,
+        "p99_ms": percentile(lat, 99) * 1e3,
+        "cold_ms": state["cold_s"] * 1e3,
+        "warm_ms": state["warm_s"] * 1e3,
+        "warm_speedup": state["cold_s"] / state["warm_s"],
+        "pool": {k: stats["pool"][k] for k in
+                 ("session_hits", "session_misses", "evictions")},
+        "batching": {k: stats["server"][k] for k in
+                     ("batches", "fused_requests", "max_batch")},
+    }
+
+
+register(BenchCase(
+    name="serve/throughput-512",
+    setup=_serve_setup,
+    tier="warn",
+    smoke=True,
+    extra=_serve_extra,
 ))

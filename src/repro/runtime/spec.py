@@ -1,0 +1,349 @@
+"""Declarative, schema-versioned solver and run specifications.
+
+A :class:`SolverSpec` answers *what computes forces*; a
+:class:`RunSpec` adds *how it runs*.  Both are frozen dataclasses with
+a canonical dict/JSON form, so the same value can travel through CLI
+flags, checkpoint metadata, bench-case constructors and serve-request
+payloads without drifting — and two specs compare equal exactly when
+they describe the same solver.
+
+Versioning follows the :mod:`repro.state` convention: the serialized
+form carries ``schema`` = :data:`RUNTIME_SCHEMA_VERSION`; an *unknown
+version* is rejected with a clear error (a new-schema spec must not be
+silently misread by an old build), while unknown *fields* within a
+known version are tolerated (forward-compatible additions may land
+without a bump).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Bump on any incompatible change to the serialized spec layout.
+RUNTIME_SCHEMA_VERSION = 1
+
+#: Supported potential families (the production pipeline kernels plus
+#: their reference implementations).
+POTENTIALS = ("tersoff", "sw")
+
+#: The paper's execution modes (Sec. V-E); ``Ref`` is the LAMMPS-shipped
+#: Algorithm 2, ``Opt-*`` the wide production path per precision.
+MODES = ("Ref", "Opt-D", "Opt-S", "Opt-M")
+
+_MODE_PRECISION = {"Opt-D": "double", "Opt-S": "single", "Opt-M": "mixed"}
+
+#: Named parameter sets per potential family.  ``default`` aliases the
+#: family's canonical set so CLI/serve callers need not know it.
+_PARAM_SETS: dict[str, tuple[str, ...]] = {
+    "tersoff": ("Si", "Si-1988", "C", "Ge", "SiC", "SiGe"),
+    "sw": ("Si",),
+}
+
+_EXECUTORS = ("serial", "thread", "process", "fork", "spawn", "forkserver", "tcp", "unix")
+_TRANSPORTS = ("tcp", "unix")
+
+
+class SpecError(ValueError):
+    """The spec is malformed, inconsistent, or from an unknown schema."""
+
+
+def _require_version(data: dict, what: str) -> None:
+    version = data.get("schema")
+    if version != RUNTIME_SCHEMA_VERSION:
+        raise SpecError(
+            f"{what} schema version {version!r} is not supported "
+            f"(this build reads version {RUNTIME_SCHEMA_VERSION}); "
+            "re-create the spec with a matching build"
+        )
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """What computes forces: one declarative record.
+
+    Attributes
+    ----------
+    potential:
+        ``"tersoff"`` or ``"sw"``.
+    mode:
+        ``"Ref"`` or ``"Opt-D"`` / ``"Opt-S"`` / ``"Opt-M"`` (the
+        production path per precision).
+    cache:
+        Step-persistent interaction cache (bit-for-bit identical either
+        way; ignored for ``Ref``).
+    backend:
+        Compute backend for the Tersoff production path (``None`` =
+        process default; see :mod:`repro.backends`).
+    params_set:
+        Named parameter set within the family (``"default"`` resolves
+        to the canonical one: Si for both families).
+    """
+
+    potential: str = "tersoff"
+    mode: str = "Opt-M"
+    cache: bool = True
+    backend: str | None = None
+    params_set: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.potential not in POTENTIALS:
+            raise SpecError(
+                f"unknown potential {self.potential!r} (expected one of {POTENTIALS})"
+            )
+        if self.mode not in MODES:
+            raise SpecError(f"unknown mode {self.mode!r} (expected one of {MODES})")
+        if not isinstance(self.cache, bool):
+            raise SpecError(f"cache must be a bool, got {self.cache!r}")
+        sets = _PARAM_SETS[self.potential]
+        if self.params_set not in sets and self.params_set != "default":
+            raise SpecError(
+                f"unknown params_set {self.params_set!r} for {self.potential} "
+                f"(expected 'default' or one of {sets})"
+            )
+        if self.backend is not None:
+            if self.potential != "tersoff" or self.mode == "Ref":
+                raise SpecError(
+                    "backend selection only applies to the Tersoff Opt-* production path"
+                )
+            from repro.backends import names
+
+            if self.backend not in names():
+                raise SpecError(
+                    f"unknown backend {self.backend!r} (expected one of {names()})"
+                )
+
+    # ---- derived -------------------------------------------------------------
+
+    @property
+    def precision(self) -> str | None:
+        """``"double"`` / ``"single"`` / ``"mixed"``; ``None`` for Ref."""
+        return _MODE_PRECISION.get(self.mode)
+
+    def resolved_params_set(self) -> str:
+        return "Si" if self.params_set == "default" else self.params_set
+
+    # ---- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-able form (carries the schema version)."""
+        return {
+            "schema": RUNTIME_SCHEMA_VERSION,
+            "potential": self.potential,
+            "mode": self.mode,
+            "cache": self.cache,
+            "backend": self.backend,
+            "params_set": self.params_set,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolverSpec":
+        """Restore from :meth:`to_dict` output.
+
+        Unknown schema versions are rejected; unknown fields within the
+        known version are ignored (forward compatibility).
+        """
+        if not isinstance(data, dict):
+            raise SpecError(f"solver spec must be a mapping, got {type(data).__name__}")
+        _require_version(data, "solver spec")
+        kwargs = {}
+        for key in ("potential", "mode", "cache", "backend", "params_set"):
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        """Stable string form — equal strings iff equal specs."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def key(self) -> str:
+        """Hashable identity for pool/cache keying."""
+        return self.canonical_json()
+
+    # ---- construction --------------------------------------------------------
+
+    def build_params(self):
+        """The parameter object for this spec's family and set."""
+        name = self.resolved_params_set()
+        if self.potential == "tersoff":
+            from repro.core.tersoff.parameters import (
+                tersoff_carbon,
+                tersoff_germanium,
+                tersoff_si,
+                tersoff_si_1988,
+                tersoff_sic,
+                tersoff_sige,
+            )
+
+            factory = {
+                "Si": tersoff_si,
+                "Si-1988": tersoff_si_1988,
+                "C": tersoff_carbon,
+                "Ge": tersoff_germanium,
+                "SiC": tersoff_sic,
+                "SiGe": tersoff_sige,
+            }[name]
+            return factory()
+        from repro.core.sw.parameters import sw_silicon
+
+        return sw_silicon()
+
+    def cutoff(self, params=None) -> float:
+        """The force cutoff the neighbor list must cover."""
+        params = self.build_params() if params is None else params
+        if self.potential == "tersoff":
+            return float(params.max_cutoff)
+        return float(params.cut)
+
+    def build(self, params=None):
+        """Construct the potential (see :func:`repro.runtime.session.build_potential`)."""
+        from repro.runtime.session import build_potential
+
+        return build_potential(self, params=params)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """How a solver runs: spec + execution topology.
+
+    ``workers``/``ranks``/``sort`` select the PR-4 parallel engine
+    (physics depends only on ranks/sort, never workers), ``executor``/
+    ``transport``/``hosts`` the PR-7/9 execution backend, ``skin`` the
+    neighbor-list build margin.
+    """
+
+    solver: SolverSpec = field(default_factory=SolverSpec)
+    workers: int | None = None
+    ranks: int | None = None
+    sort: bool = False
+    executor: str | None = None
+    transport: str | None = None
+    hosts: tuple[str, ...] | None = None
+    skin: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.solver, SolverSpec):
+            raise SpecError("RunSpec.solver must be a SolverSpec")
+        if self.hosts is not None:
+            object.__setattr__(self, "hosts", tuple(self.hosts))
+            if not self.hosts:
+                object.__setattr__(self, "hosts", None)
+        if self.workers is not None and self.workers < 1:
+            raise SpecError("workers must be >= 1")
+        if self.ranks is not None and self.ranks < 1:
+            raise SpecError("ranks must be >= 1")
+        if self.skin < 0.0:
+            raise SpecError("skin must be non-negative")
+        if self.executor is not None and self.executor not in _EXECUTORS:
+            raise SpecError(
+                f"unknown executor {self.executor!r} (expected one of {_EXECUTORS})"
+            )
+        if self.transport is not None and self.transport not in _TRANSPORTS:
+            raise SpecError(
+                f"unknown transport {self.transport!r} (expected one of {_TRANSPORTS})"
+            )
+        if self.hosts is not None and self.executor is not None:
+            raise SpecError("--hosts already selects the cluster executor; drop --executor")
+        if self.transport is not None and self.executor not in (None, self.transport):
+            raise SpecError(
+                f"conflicting flags: --executor {self.executor} vs --transport {self.transport}"
+            )
+
+    # ---- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": RUNTIME_SCHEMA_VERSION,
+            "solver": self.solver.to_dict(),
+            "workers": self.workers,
+            "ranks": self.ranks,
+            "sort": self.sort,
+            "executor": self.executor,
+            "transport": self.transport,
+            "hosts": None if self.hosts is None else list(self.hosts),
+            "skin": self.skin,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        if not isinstance(data, dict):
+            raise SpecError(f"run spec must be a mapping, got {type(data).__name__}")
+        _require_version(data, "run spec")
+        if "solver" not in data:
+            raise SpecError("run spec is missing its solver section")
+        kwargs: dict = {"solver": SolverSpec.from_dict(data["solver"])}
+        for key in ("workers", "ranks", "sort", "executor", "transport", "hosts", "skin"):
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    # ---- CLI adapter ---------------------------------------------------------
+
+    @classmethod
+    def from_args(cls, args) -> "RunSpec":
+        """Build from an argparse namespace carrying the ``repro run``
+        flag family (also used by the bench and restart paths).
+
+        Recognized attributes (all optional): ``potential``, ``mode``,
+        ``no_cache``, ``backend``, ``workers``, ``ranks``,
+        ``sort_domains``, ``executor``, ``transport``, ``hosts``,
+        ``skin``.  This is the *one* place CLI flags become a spec —
+        the three copies of keyword threading (`repro run`,
+        `repro bench run`, the restart path) all call it.
+        """
+        hosts = getattr(args, "hosts", None)
+        if isinstance(hosts, str):
+            hosts = tuple(h.strip() for h in hosts.split(",") if h.strip()) or None
+        solver = SolverSpec(
+            potential=getattr(args, "potential", "tersoff"),
+            mode=getattr(args, "mode", "Opt-M"),
+            cache=not getattr(args, "no_cache", False),
+            backend=getattr(args, "backend", None),
+        )
+        return cls(
+            solver=solver,
+            workers=getattr(args, "workers", None),
+            ranks=getattr(args, "ranks", None),
+            sort=getattr(args, "sort_domains", False),
+            executor=getattr(args, "executor", None),
+            transport=getattr(args, "transport", None),
+            hosts=hosts,
+            skin=getattr(args, "skin", 1.0),
+        )
+
+    def with_overrides(self, **changes) -> "RunSpec":
+        """A copy with the given fields replaced (restart-flag overrides)."""
+        from dataclasses import replace
+
+        return replace(self, **changes)
+
+    # ---- construction --------------------------------------------------------
+
+    def build_executor(self):
+        """Resolve the executor selection to ``(executor, workers)``.
+
+        ``hosts`` builds a connected
+        :class:`~repro.parallel.transport.ClusterExecutor` (one worker
+        per address) and fixes the worker count to the address list;
+        ``transport`` alone selects the spawned local socket pool;
+        plain executor names pass through.
+        """
+        if self.hosts:
+            from repro.parallel.transport import ClusterExecutor
+
+            executor = ClusterExecutor(
+                self.workers, transport=self.transport or "tcp", hosts=list(self.hosts)
+            )
+            return executor, len(self.hosts)
+        if self.transport:
+            return self.transport, self.workers
+        return self.executor, self.workers
+
+    def build_simulation(self, system, **kwargs):
+        """See :func:`repro.runtime.session.build_simulation`."""
+        from repro.runtime.session import build_simulation
+
+        return build_simulation(self, system, **kwargs)

@@ -1,0 +1,411 @@
+"""The ``repro serve`` HTTP server.
+
+Architecture (one box, no third-party dependencies):
+
+- a :class:`ThreadingHTTPServer` (TCP) or its AF_UNIX twin accepts
+  connections; handler threads do parse + validate only;
+- accepted requests become jobs on a **bounded** queue — when the
+  queue is full the handler answers ``429`` with the typed
+  ``backpressure`` error *immediately* instead of stacking latency;
+- a single **dispatcher** thread drains the queue in batches (up to
+  ``batch_max`` jobs per drain) and evaluates them on the warm
+  :class:`~repro.runtime.SolverPool`.  Batch fusion here is *dispatch*
+  fusion: one dequeue wakes the dispatcher once for N requests, and
+  jobs sharing a ``(tenant, spec)`` session run back-to-back while the
+  session is hot.  Geometric fusion (concatenating systems into one
+  neighbor build) is deliberately excluded — it would change
+  summation order and break the bitwise serve-equivalence contract;
+- handler threads block on their job's event and write the response.
+
+Shutdown is clean by construction: :meth:`EvalServer.close` stops the
+dispatcher with a sentinel, shuts the listener down, and unlinks the
+unix socket path; a ``weakref.finalize`` safety net does the same if
+the server is dropped without close (and on interpreter exit), so a
+killed client or an abandoned server object never leaks sockets.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import socket
+import socketserver
+import threading
+import weakref
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.runtime.pool import SolverPool, copy_forces
+from repro.serve.protocol import (
+    JSON_CONTENT_TYPE,
+    SERVE_SCHEMA_VERSION,
+    ProtocolError,
+    content_types,
+    decode_payload,
+    encode_payload,
+)
+from repro.serve.validate import DEFAULT_MAX_ATOMS, RequestError, validate_request
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the server needs, declaratively.
+
+    Exactly one of TCP (``host``/``port``) or ``unix_path`` is used:
+    setting ``unix_path`` selects the AF_UNIX listener.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral
+    unix_path: str | None = None
+    max_sessions: int = 32
+    per_tenant_cap: int = 8
+    skin: float = 1.0
+    backlog: int = 64  # bounded queue depth; overflow answers 429
+    batch_max: int = 16  # jobs fused per dispatcher drain
+    max_atoms: int = DEFAULT_MAX_ATOMS
+    request_timeout: float = 120.0  # handler wait for its job
+
+
+class _Job:
+    """One accepted request travelling handler → dispatcher → handler."""
+
+    __slots__ = ("spec", "system", "tenant", "event", "response", "error", "batch")
+
+    def __init__(self, spec, system, tenant):
+        self.spec = spec
+        self.system = system
+        self.tenant = tenant
+        self.event = threading.Event()
+        self.response = None
+        self.error = None
+        self.batch = (0, 1)  # (index within drain, drain size)
+
+
+@dataclass
+class _ServerCounters:
+    """Dispatcher/queue counters (merged into ``/v1/stats``)."""
+
+    received: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected_backpressure: int = 0
+    rejected_invalid: int = 0
+    batches: int = 0
+    fused_requests: int = 0
+    max_batch: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def as_dict(self) -> dict:
+        with self.lock:
+            return {
+                "received": self.received,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected_backpressure": self.rejected_backpressure,
+                "rejected_invalid": self.rejected_invalid,
+                "batches": self.batches,
+                "fused_requests": self.fused_requests,
+                "max_batch": self.max_batch,
+            }
+
+
+class _UnixHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer over an AF_UNIX stream socket."""
+
+    address_family = socket.AF_UNIX
+
+    def server_bind(self):
+        # a path left by a dead server would make bind fail; the live
+        # server holds the listening socket, so an existing path here
+        # is always stale
+        try:
+            os.unlink(self.server_address)
+        except FileNotFoundError:
+            pass
+        socketserver.TCPServer.server_bind(self)
+
+    def get_request(self):
+        request, _ = self.socket.accept()
+        # BaseHTTPRequestHandler logs client_address[0]; AF_UNIX peers
+        # have no (host, port), so fake a stable one
+        return request, ("unix", 0)
+
+
+def _cleanup(httpd, unix_path, job_queue, dispatcher, started) -> None:
+    """Idempotent teardown shared by close() and the finalizer."""
+    try:
+        job_queue.put_nowait(None)  # dispatcher stop sentinel
+    except queue.Full:
+        pass  # dispatcher drains the queue; it will hit the timeout poll
+    if started.is_set():
+        # shutdown() handshakes with a serve_forever loop; on a server
+        # that never served it would wait forever
+        httpd.shutdown()
+    httpd.server_close()
+    if dispatcher.is_alive():
+        dispatcher.join(timeout=5.0)
+    if unix_path is not None:
+        try:
+            os.unlink(unix_path)
+        except FileNotFoundError:
+            pass
+
+
+class EvalServer:
+    """Long-lived evaluation service over a warm solver pool.
+
+    Usable embedded (tests, the bench suite) or via the CLI::
+
+        server = EvalServer(ServeConfig(unix_path="/tmp/repro.sock"))
+        server.start()          # background accept + dispatch threads
+        ...                     # talk to it with ServeClient
+        server.close()
+
+    or as a context manager.  :meth:`serve_forever` is the blocking
+    foreground variant the CLI uses.
+    """
+
+    def __init__(self, config: ServeConfig | None = None):
+        self.config = config or ServeConfig()
+        self.pool = SolverPool(
+            max_sessions=self.config.max_sessions,
+            per_tenant_cap=self.config.per_tenant_cap,
+            skin=self.config.skin,
+        )
+        self.counters = _ServerCounters()
+        self._queue: "queue.Queue[_Job | None]" = queue.Queue(
+            maxsize=self.config.backlog
+        )
+        self._httpd = self._make_httpd()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatcher", daemon=True
+        )
+        self._accept_thread: threading.Thread | None = None
+        self._closed = False
+        self._started = threading.Event()
+        # safety net: a dropped/killed server never leaks the socket
+        # path or the listener fd
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._httpd, self.config.unix_path,
+            self._queue, self._dispatcher, self._started,
+        )
+
+    # ---- wiring -------------------------------------------------------------
+
+    def _make_httpd(self):
+        handler = _make_handler(self)
+        if self.config.unix_path is not None:
+            return _UnixHTTPServer(self.config.unix_path, handler)
+        return ThreadingHTTPServer((self.config.host, self.config.port), handler)
+
+    @property
+    def address(self) -> str:
+        """Connectable address: ``host:port`` or the socket path."""
+        if self.config.unix_path is not None:
+            return self.config.unix_path
+        host, port = self._httpd.server_address[:2]
+        return f"{host}:{port}"
+
+    def start(self) -> "EvalServer":
+        """Run accept loop + dispatcher in background threads."""
+        self._started.set()
+        self._dispatcher.start()
+        self._accept_thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="serve-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking foreground serve (the CLI path)."""
+        self._started.set()
+        self._dispatcher.start()
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        finally:
+            self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer()  # runs _cleanup exactly once
+        if self._accept_thread is not None and self._accept_thread.is_alive():
+            self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "EvalServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ---- dispatch -----------------------------------------------------------
+
+    def submit(self, job: _Job) -> bool:
+        """Enqueue a job; False means the backlog is full (429)."""
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            return False
+        return True
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                first = self._queue.get(timeout=0.5)
+            except queue.Empty:
+                if self._closed:
+                    return
+                continue
+            if first is None:
+                return
+            # batch fusion: one wake-up drains up to batch_max jobs;
+            # jobs sharing a (tenant, spec) run on the same hot session
+            batch = [first]
+            while len(batch) < self.config.batch_max:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    self._run_batch(batch)
+                    return
+                batch.append(nxt)
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[_Job]) -> None:
+        size = len(batch)
+        with self.counters.lock:
+            self.counters.batches += 1
+            self.counters.fused_requests += size
+            self.counters.max_batch = max(self.counters.max_batch, size)
+        # stable-sort by session key so same-session jobs are adjacent
+        # (order within a key is arrival order — deterministic)
+        batch.sort(key=lambda j: (j.tenant, j.spec.key()))
+        for i, job in enumerate(batch):
+            job.batch = (i, size)
+            try:
+                result = self.pool.evaluate(job.spec, job.system, tenant=job.tenant)
+                job.response = {
+                    "schema": SERVE_SCHEMA_VERSION,
+                    "energy": float(result.energy),
+                    "virial": float(result.virial),
+                    "forces": copy_forces(result).tolist(),
+                    "n": int(job.system.n),
+                    "batch": {"index": i, "size": size},
+                }
+                with self.counters.lock:
+                    self.counters.completed += 1
+            except Exception as exc:  # evaluation failure → typed 500
+                job.error = {
+                    "tier": None,
+                    "code": "evaluation_failed",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }
+                with self.counters.lock:
+                    self.counters.failed += 1
+            finally:
+                job.event.set()
+
+    # ---- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "schema": SERVE_SCHEMA_VERSION,
+            "server": self.counters.as_dict(),
+            "queue_depth": self._queue.qsize(),
+            "backlog": self.config.backlog,
+            "batch_max": self.config.batch_max,
+            "content_types": list(content_types()),
+            "pool": self.pool.snapshot(),
+        }
+
+
+def _make_handler(server: EvalServer):
+    """The request handler class, closed over its EvalServer."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+        # quiet: the access log is telemetry's job, not stderr's
+        def log_message(self, fmt, *args):  # noqa: A003 - stdlib signature
+            pass
+
+        def _send(self, status: int, obj: dict) -> None:
+            body = encode_payload(obj, JSON_CONTENT_TYPE)
+            self.send_response(status)
+            self.send_header("Content-Type", JSON_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_error(self, status: int, err: dict) -> None:
+            self._send(status, {"schema": SERVE_SCHEMA_VERSION, "error": err})
+
+        def do_GET(self):  # noqa: N802 - stdlib casing
+            if self.path == "/healthz":
+                self._send(200, {"schema": SERVE_SCHEMA_VERSION, "ok": True})
+            elif self.path == "/v1/stats":
+                self._send(200, server.stats())
+            else:
+                self._send_error(404, {"tier": None, "code": "not_found",
+                                       "message": f"no route {self.path}"})
+
+        def do_POST(self):  # noqa: N802 - stdlib casing
+            if self.path != "/v1/evaluate":
+                self._send_error(404, {"tier": None, "code": "not_found",
+                                       "message": f"no route {self.path}"})
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+            except ValueError:
+                length = -1
+            if length < 0:
+                self._send_error(400, {"tier": "L0", "code": "bad_length",
+                                       "message": "missing/invalid Content-Length"})
+                return
+            body = self.rfile.read(length)
+            ctype = self.headers.get("Content-Type", JSON_CONTENT_TYPE)
+            with server.counters.lock:
+                server.counters.received += 1
+            try:
+                payload = decode_payload(body, ctype)
+            except ProtocolError as exc:
+                with server.counters.lock:
+                    server.counters.rejected_invalid += 1
+                self._send_error(400, {"tier": "L0", "code": "undecodable",
+                                       "message": str(exc)})
+                return
+            try:
+                spec, system, tenant = validate_request(
+                    payload, max_atoms=server.config.max_atoms,
+                    skin=server.config.skin,
+                )
+            except RequestError as exc:
+                with server.counters.lock:
+                    server.counters.rejected_invalid += 1
+                self._send_error(400, exc.as_dict())
+                return
+            job = _Job(spec, system, tenant)
+            if not server.submit(job):
+                with server.counters.lock:
+                    server.counters.rejected_backpressure += 1
+                self._send_error(429, {
+                    "tier": None, "code": "backpressure",
+                    "message": f"queue full ({server.config.backlog} pending); "
+                               "retry with backoff",
+                })
+                return
+            if not job.event.wait(timeout=server.config.request_timeout):
+                self._send_error(504, {"tier": None, "code": "timeout",
+                                       "message": "evaluation timed out"})
+                return
+            if job.error is not None:
+                self._send_error(500, job.error)
+            else:
+                self._send(200, job.response)
+
+    return Handler

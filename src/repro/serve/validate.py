@@ -1,0 +1,191 @@
+"""Tiered request validation for the evaluation service.
+
+Every inbound request passes four tiers, cheapest first, and the first
+failure wins.  Failures carry a machine-readable ``(tier, code)`` pair
+so clients (and the CI malformed-request taxonomy test) can assert on
+*why* a request was refused, not just that it was:
+
+========  ====================================================
+tier      what it checks
+========  ====================================================
+``L0``    envelope schema: JSON object, schema version, required
+          fields, a well-formed :class:`~repro.runtime.SolverSpec`
+``L1``    shapes and dtypes: positions parse to ``(n, 3)`` float64,
+          type indices to ``(n,)`` ints, the box to two 3-vectors
+``L2``    physical sanity: finite values, non-empty, size cap,
+          positive box extent, type indices inside the species table
+``L3``    feasibility: the spec's cutoff (plus skin) fits the box
+          under the minimum-image convention
+========  ====================================================
+
+The tiers are ordered so that no numerical work touches data that has
+not already passed the structural checks — tier L3 is the only one
+that needs the parameter set, and parameter builds are memoized per
+spec.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.runtime.spec import SolverSpec, SpecError
+from repro.serve.protocol import SERVE_SCHEMA_VERSION, system_from_payload
+
+#: Refuse requests above this many atoms (tier L2 ``too_large``) —
+#: a single oversized request would monopolize the dispatcher.
+DEFAULT_MAX_ATOMS = 65536
+
+TIERS = ("L0", "L1", "L2", "L3")
+
+
+class RequestError(ValueError):
+    """A request refused by one of the validation tiers.
+
+    Attributes
+    ----------
+    tier:
+        ``"L0"`` .. ``"L3"``.
+    code:
+        Stable machine-readable reason (e.g. ``"bad_positions"``).
+    """
+
+    def __init__(self, tier: str, code: str, message: str):
+        super().__init__(message)
+        self.tier = tier
+        self.code = code
+
+    def as_dict(self) -> dict:
+        return {"tier": self.tier, "code": self.code, "message": str(self)}
+
+
+def _l0_envelope(payload) -> tuple[SolverSpec, dict, str]:
+    """Tier L0: the request envelope is structurally a request."""
+    if not isinstance(payload, dict):
+        raise RequestError("L0", "not_object", "request body must be a JSON object")
+    schema = payload.get("schema")
+    if schema != SERVE_SCHEMA_VERSION:
+        raise RequestError(
+            "L0", "schema_version",
+            f"unsupported request schema {schema!r} (this server speaks "
+            f"{SERVE_SCHEMA_VERSION})",
+        )
+    for key in ("solver", "system"):
+        if key not in payload:
+            raise RequestError("L0", "missing_field", f"request lacks {key!r}")
+    if not isinstance(payload["solver"], dict):
+        raise RequestError("L0", "bad_field", "'solver' must be an object")
+    if not isinstance(payload["system"], dict):
+        raise RequestError("L0", "bad_field", "'system' must be an object")
+    tenant = payload.get("tenant", "default")
+    if not isinstance(tenant, str) or not tenant:
+        raise RequestError("L0", "bad_field", "'tenant' must be a non-empty string")
+    try:
+        spec = SolverSpec.from_dict(payload["solver"])
+    except SpecError as exc:
+        raise RequestError("L0", "bad_solver", f"invalid solver spec: {exc}") from exc
+    return spec, payload["system"], tenant
+
+
+def _l1_shapes(system_payload: dict):
+    """Tier L1: arrays parse to the right shapes and dtypes."""
+    try:
+        x = np.asarray(system_payload.get("x"), dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise RequestError("L1", "bad_positions",
+                           f"positions are not numeric: {exc}") from exc
+    if x.ndim != 2 or x.shape[1] != 3:
+        raise RequestError("L1", "bad_positions",
+                           f"positions must be (n, 3), got shape {x.shape}")
+    box = system_payload.get("box")
+    if not isinstance(box, dict):
+        raise RequestError("L1", "bad_box", "'box' must be an object with lo/hi")
+    try:
+        lo = np.asarray(box.get("lo"), dtype=np.float64).reshape(3)
+        hi = np.asarray(box.get("hi"), dtype=np.float64).reshape(3)
+    except (TypeError, ValueError) as exc:
+        raise RequestError("L1", "bad_box",
+                           f"box lo/hi must be 3-vectors: {exc}") from exc
+    periodic = box.get("periodic", (True, True, True))
+    if len(tuple(periodic)) != 3:
+        raise RequestError("L1", "bad_box", "box periodic must have 3 flags")
+    types = system_payload.get("types")
+    if types is not None:
+        try:
+            t = np.asarray(types)
+            if not np.issubdtype(t.dtype, np.integer):
+                raise ValueError(f"dtype {t.dtype} is not integral")
+            t = t.astype(np.int32)
+        except (TypeError, ValueError) as exc:
+            raise RequestError("L1", "bad_types",
+                               f"type indices must be integers: {exc}") from exc
+        if t.shape != (x.shape[0],):
+            raise RequestError("L1", "bad_types",
+                               f"types must be ({x.shape[0]},), got {t.shape}")
+    species = system_payload.get("species", ("Si",))
+    if not all(isinstance(s, str) for s in species) or not len(tuple(species)):
+        raise RequestError("L1", "bad_species",
+                           "species must be a non-empty list of symbols")
+    return x, lo, hi
+
+
+def _l2_sanity(x, lo, hi, system_payload: dict, max_atoms: int):
+    """Tier L2: the numbers describe a physically sane system."""
+    n = x.shape[0]
+    if n == 0:
+        raise RequestError("L2", "empty", "system has no atoms")
+    if n > max_atoms:
+        raise RequestError("L2", "too_large",
+                           f"system has {n} atoms; this server caps at {max_atoms}")
+    if not np.all(np.isfinite(x)):
+        raise RequestError("L2", "nonfinite", "positions contain NaN/Inf")
+    if not (np.all(np.isfinite(lo)) and np.all(np.isfinite(hi))):
+        raise RequestError("L2", "nonfinite", "box bounds contain NaN/Inf")
+    if np.any(hi <= lo):
+        raise RequestError("L2", "bad_box_extent",
+                           f"box must have positive extent, got lo={lo} hi={hi}")
+    types = system_payload.get("types")
+    nspecies = len(tuple(system_payload.get("species", ("Si",))))
+    if types is not None:
+        t = np.asarray(types)
+        if t.size and (t.min() < 0 or t.max() >= nspecies):
+            raise RequestError("L2", "type_range",
+                               f"type indices must lie in [0, {nspecies})")
+
+
+# memoized (spec → cutoff): tier L3 runs per request, parameter table
+# construction should not.  SolverSpec is frozen/hashable, so lru_cache
+# keys on it directly.
+@lru_cache(maxsize=256)
+def _spec_cutoff(spec: SolverSpec) -> float:
+    return float(spec.cutoff())
+
+
+def _l3_feasibility(spec: SolverSpec, system, skin: float):
+    """Tier L3: the spec's interaction range fits this box."""
+    cutoff = _spec_cutoff(spec)
+    try:
+        system.box.check_cutoff(cutoff + skin)
+    except ValueError as exc:
+        raise RequestError("L3", "cutoff_box", str(exc)) from exc
+
+
+def validate_request(payload, *, max_atoms: int = DEFAULT_MAX_ATOMS,
+                     skin: float = 1.0):
+    """Run a decoded request through all four tiers.
+
+    Returns ``(spec, system, tenant)`` on success; raises
+    :class:`RequestError` at the first failing tier.
+    """
+    spec, sys_payload, tenant = _l0_envelope(payload)
+    x, lo, hi = _l1_shapes(sys_payload)
+    _l2_sanity(x, lo, hi, sys_payload, max_atoms)
+    try:
+        system = system_from_payload(sys_payload)
+    except ValueError as exc:
+        # AtomSystem's own invariants are stricter in corner cases
+        # (e.g. species/mass table mismatch) — surface them as L2
+        raise RequestError("L2", "bad_system", str(exc)) from exc
+    _l3_feasibility(spec, system, skin)
+    return spec, system, tenant

@@ -120,6 +120,50 @@ class Checkpoint:
     def parallel(self) -> bool:
         return self.meta.get("engine") is not None
 
+    def run_spec(self):
+        """The pinned :class:`~repro.runtime.spec.RunSpec`, or ``None``.
+
+        New checkpoints carry the full spec under
+        ``user_meta["run_spec"]`` — potential, mode, cache, backend,
+        executor, workers/ranks/sort, transport and skin all round-trip,
+        so ``--restart-from`` reproduces the original configuration
+        instead of silently falling back to CLI defaults.  Legacy
+        checkpoints (pre-runtime ``user_meta["run_config"]``) are
+        upgraded on read: the solver fields come from ``run_config``,
+        the topology from the engine metadata and the skin from the
+        neighbor settings.  Returns ``None`` when no configuration was
+        pinned at all (checkpoints written through the library API with
+        no user_meta).
+
+        Raises :class:`CheckpointError` when a pinned spec is present
+        but unreadable (unknown schema version, malformed fields).
+        """
+        from repro.runtime.spec import RunSpec, SolverSpec, SpecError
+
+        um = self.user_meta
+        engine = self.meta.get("engine") or {}
+        try:
+            if "run_spec" in um:
+                return RunSpec.from_dict(um["run_spec"])
+            legacy = um.get("run_config")
+            if legacy is None:
+                return None
+            solver = SolverSpec(
+                potential=legacy.get("potential", "tersoff"),
+                mode=legacy.get("mode", "Opt-M"),
+                cache=bool(legacy.get("cache", True)),
+                backend=legacy.get("backend"),
+            )
+            return RunSpec(
+                solver=solver,
+                workers=engine.get("workers"),
+                ranks=engine.get("ranks"),
+                sort=bool(engine.get("sort", False)),
+                skin=float(self.meta["neighbor"]["skin"]),
+            )
+        except SpecError as exc:
+            raise CheckpointError(f"checkpoint pins an unreadable run spec: {exc}") from exc
+
     def system(self) -> AtomSystem:
         """Reconstruct the :class:`AtomSystem` (bit-exact arrays).
 

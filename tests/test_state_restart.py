@@ -269,20 +269,62 @@ class TestSigkillDurability:
 
 
 def test_restart_run_config_round_trip(tmp_path):
-    """The CLI stores its potential config; restart rebuilds it from
-    the checkpoint rather than trusting the new command line."""
+    """The CLI pins the full run spec; restart rebuilds it from the
+    checkpoint rather than trusting the new command line."""
     env = dict(os.environ)
     env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
     run = subprocess.run(
         [
             sys.executable, "-m", "repro", "run",
             "--atoms", "64", "--steps", "4", "--seed", "3", "--mode", "Opt-S",
+            "--workers", "2", "--executor", "thread",
             "--checkpoint", "a.ckpt", "--checkpoint-every", "4",
         ],
         cwd=tmp_path, env=env, capture_output=True, text=True, timeout=600,
     )
     assert run.returncode == 0, run.stderr
     ck = load_checkpoint(tmp_path / "a.ckpt")
-    cfg = ck.user_meta["run_config"]
-    assert cfg["mode"] == "Opt-S"
+    cfg = ck.user_meta["run_spec"]
     assert json.dumps(cfg)  # JSON-able by construction
+    run_spec = ck.run_spec()
+    assert run_spec is not None
+    # the full spec round-trips: solver physics AND execution knobs
+    assert run_spec.solver.mode == "Opt-S"
+    assert run_spec.workers == 2
+    assert run_spec.executor == "thread"
+    assert run_spec.skin == 1.0
+    from repro.runtime import RunSpec
+
+    assert RunSpec.from_dict(cfg) == run_spec
+
+
+def test_legacy_run_config_upgrades_to_run_spec(tmp_path):
+    """Checkpoints written before the runtime layer carried only a
+    ``run_config`` potential tuple; ``Checkpoint.run_spec`` upgrades it
+    (filling execution knobs from engine/neighbor meta)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[1] / "src")
+    run = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "run",
+            "--atoms", "64", "--steps", "2", "--seed", "3",
+            "--checkpoint", "a.ckpt", "--checkpoint-every", "2",
+        ],
+        cwd=tmp_path, env=env, capture_output=True, text=True, timeout=600,
+    )
+    assert run.returncode == 0, run.stderr
+    ck = load_checkpoint(tmp_path / "a.ckpt")
+    # rewrite the pin into the legacy layout
+    legacy = dict(ck.user_meta)
+    spec_dict = legacy.pop("run_spec")
+    legacy["run_config"] = {
+        "potential": spec_dict["solver"]["potential"],
+        "mode": spec_dict["solver"]["mode"],
+        "cache": spec_dict["solver"]["cache"],
+        "backend": spec_dict["solver"]["backend"],
+    }
+    ck.meta["user_meta"] = legacy
+    upgraded = ck.run_spec()
+    assert upgraded is not None
+    assert upgraded.solver.mode == spec_dict["solver"]["mode"]
+    assert upgraded.skin == 1.0
